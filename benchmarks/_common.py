@@ -1,0 +1,84 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the evaluation plan
+in DESIGN.md.  The output convention: each bench prints its table to
+stdout (captured into EXPERIMENTS.md) and asserts the qualitative shape
+the experiment is meant to demonstrate, so a regression in any mechanism
+fails the harness loudly rather than silently producing a different
+conclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controller import Environment
+from repro.device.ue import DeviceSpec, UserEquipment
+from repro.metrics import MetricRegistry, Table
+from repro.network.link import Link, NetworkPath
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.sim import Simulator
+from repro.sim.rng import SeedSequenceRegistry
+
+
+def build_env_with_uplink(
+    uplink_bps: float,
+    seed: int = 0,
+    downlink_bps: Optional[float] = None,
+    access_latency_s: float = 0.025,
+    wan_latency_s: float = 0.040,
+    device: Optional[DeviceSpec] = None,
+    platform_config: Optional[PlatformConfig] = None,
+) -> Environment:
+    """An :class:`Environment` with an explicit uplink rate (bytes/s).
+
+    The connectivity presets quantise bandwidth to named technologies;
+    the figure sweeps need a continuous axis instead.
+    """
+    if downlink_bps is None:
+        downlink_bps = uplink_bps * 4
+    sim = Simulator()
+    rng = SeedSequenceRegistry(seed)
+    metrics = MetricRegistry()
+
+    def path(rate: float, direction: str) -> NetworkPath:
+        access = Link(
+            sim,
+            bandwidth=rate,
+            latency_s=access_latency_s,
+            per_request_overhead_bytes=1500.0,
+            name=f"sweep.access.{direction}",
+            metrics=metrics,
+        )
+        wan = Link(
+            sim,
+            bandwidth=rate * 4,
+            latency_s=wan_latency_s,
+            name=f"sweep.wan.{direction}",
+            metrics=metrics,
+        )
+        return NetworkPath(sim, [access, wan], name=f"sweep.{direction}")
+
+    return Environment(
+        sim=sim,
+        ue=UserEquipment(sim, device, metrics=metrics),
+        platform=ServerlessPlatform(sim, platform_config, metrics=metrics),
+        uplink=path(uplink_bps, "up"),
+        downlink=path(downlink_bps, "down"),
+        rng=rng,
+        metrics=metrics,
+    )
+
+
+def emit(table: Table) -> None:
+    """Print a benchmark table with a blank-line frame.
+
+    pytest captures this output; ``-s`` (or the EXPERIMENTS.md harness)
+    shows it.
+    """
+    print()
+    print(table.render())
+    print()
+
+
+MBPS = 1_000_000 / 8  # bytes/second per megabit/second

@@ -1,0 +1,122 @@
+"""F6 — Scalability of the controller and partitioners.
+
+Two axes:
+
+* **jobs** — wall-clock cost of simulating N concurrent jobs through the
+  full controller (the discrete-event kernel must stay near-linear);
+* **components** — planning time of the exact partitioners as the graph
+  grows (min-cut must stay polynomial where exhaustive explodes), with
+  the greedy gap measured where exhaustive is still feasible.
+"""
+
+import time
+
+import pytest
+
+from repro import Environment, Job, OffloadController
+from repro.apps import linear_pipeline_app, photo_backup_app
+from repro.core.partitioning import (
+    ExhaustivePartitioner,
+    GreedyPartitioner,
+    MinCutPartitioner,
+    ObjectiveWeights,
+    PartitionContext,
+)
+from repro.metrics import Table
+from repro.sim.rng import RngStream
+
+from _common import emit
+
+JOB_COUNTS = [5, 20, 80]
+COMPONENT_COUNTS = [6, 12, 24, 48, 96]
+SEED = 99
+
+
+def run_jobs_axis() -> Table:
+    table = Table(
+        ["jobs", "sim events", "wall ms", "wall ms/job", "all met"],
+        title="F6a: controller cost vs concurrent jobs (photo backup)",
+        precision=2,
+    )
+    per_job = []
+    for n_jobs in JOB_COUNTS:
+        env = Environment.build(seed=SEED, connectivity="4g")
+        controller = OffloadController(env, photo_backup_app())
+        controller.profile_offline()
+        controller.plan(input_mb=3.0)
+        jobs = [
+            Job(controller.app, input_mb=3.0, released_at=5.0 * i,
+                deadline=5.0 * i + 36_000.0)
+            for i in range(n_jobs)
+        ]
+        started = time.perf_counter()
+        report = controller.run_workload(jobs)
+        wall_ms = (time.perf_counter() - started) * 1000
+        per_job.append(wall_ms / n_jobs)
+        table.add_row(
+            n_jobs, env.sim.events_processed, wall_ms, wall_ms / n_jobs,
+            report.deadline_miss_rate == 0.0,
+        )
+        assert report.jobs_completed == n_jobs
+    # Near-linear: per-job cost grows sublinearly with the job count
+    # (16x more jobs must not cost more than ~4x more per job).
+    assert per_job[-1] < per_job[0] * 4.0, per_job
+    return table
+
+
+def run_components_axis() -> Table:
+    table = Table(
+        ["components", "mincut ms", "greedy ms", "exhaustive ms",
+         "greedy gap %"],
+        title="F6b: planning time vs graph size (linear pipelines)",
+        precision=2,
+    )
+    rng = RngStream(SEED)
+    mincut_times = []
+    for n in COMPONENT_COUNTS:
+        app = linear_pipeline_app(n, rng)
+        work = {c.name: c.work_for(3.0) for c in app.components}
+        ctx = PartitionContext(
+            app=app, input_mb=3.0, work=work, uplink_bps=1.25e6,
+            weights=ObjectiveWeights(),
+        )
+
+        def timed(partitioner):
+            started = time.perf_counter()
+            partition = partitioner.partition(ctx)
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            from repro.core.partitioning import evaluate_partition
+
+            return elapsed_ms, evaluate_partition(ctx, partition).objective
+
+        mincut_ms, mincut_obj = timed(MinCutPartitioner())
+        greedy_ms, greedy_obj = timed(GreedyPartitioner())
+        mincut_times.append(mincut_ms)
+        if n <= 16:
+            exhaustive_ms, exhaustive_obj = timed(ExhaustivePartitioner())
+            assert mincut_obj == pytest.approx(exhaustive_obj, rel=1e-7)
+        else:
+            exhaustive_ms = None
+        gap = 100 * (greedy_obj / mincut_obj - 1)
+        table.add_row(n, mincut_ms, greedy_ms, exhaustive_ms, gap)
+        assert greedy_obj >= mincut_obj - 1e-9  # mincut is the optimum
+    # Min-cut stays fast even at 96 components.
+    assert mincut_times[-1] < 2000.0, mincut_times
+    return table
+
+
+def bench_f6_scalability(benchmark):
+    def both():
+        return run_jobs_axis(), run_components_axis()
+
+    jobs_table, components_table = benchmark.pedantic(both, rounds=1, iterations=1)
+    emit(jobs_table)
+    emit(components_table)
+
+    gaps = components_table.column("greedy gap %")
+    assert max(gaps) < 10.0  # greedy stays near-optimal as graphs grow
+
+
+if __name__ == "__main__":
+    emit(run_jobs_axis())
+    emit(run_components_axis())

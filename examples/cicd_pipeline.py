@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: offloading inside a CI/CD pipeline.
+
+Three commits flow through the deployment pipeline:
+
+1. the initial revision — profiled, partitioned, sized, canaried, promoted;
+2. a performance regression (the ``train`` stage becomes 8x heavier) —
+   the canary detects the cost/latency jump and the revision is abandoned;
+3. an honest optimisation — promoted, becoming the new baseline.
+
+This is contribution C4: offloading decisions are recomputed *per
+revision* by the pipeline, not hand-maintained.
+
+Run:  python examples/cicd_pipeline.py
+"""
+
+from dataclasses import replace
+
+from repro import Environment
+from repro.apps import ml_training_app
+from repro.cicd import SourceRepository
+from repro.core.pipeline import OffloadPipeline, PipelineConfig
+
+
+def show(run) -> None:
+    flag = "PROMOTED" if run.promoted else "ABANDONED"
+    print(f"\nrevision {run.revision}  ->  {flag}")
+    for stage in run.stages:
+        print(f"  {stage.name:14s} {stage.duration_s:9.1f} s  {stage.detail[:58]}")
+    if run.partition is not None:
+        print(f"  plan: cloud={sorted(run.partition.cloud)}")
+        sizes = {n: f"{d.memory_mb:.0f}MB" for n, d in sorted(run.allocation.items())}
+        print(f"        memory={sizes}")
+
+
+def main() -> None:
+    env = Environment.build(seed=5, connectivity="broadband")
+    app = ml_training_app()
+    repo = SourceRepository("ml-trainer", app, message="initial release")
+    pipeline = OffloadPipeline(
+        env,
+        repo,
+        config=PipelineConfig(canary_jobs=3, regression_threshold=0.30),
+    )
+
+    print("=== commit 1: initial release ===")
+    show(pipeline.run_to_completion())
+
+    print("\n=== commit 2: accidental 8x slowdown in `train` ===")
+    train = app.component("train")
+    regressed = app.with_component(
+        replace(train, work_gcycles=train.work_gcycles * 8,
+                work_gcycles_per_mb=train.work_gcycles_per_mb * 8)
+    )
+    repo.commit(regressed, "rewrite training loop (oops)")
+    show(pipeline.run_to_completion())
+    print(f"  production stays at revision {pipeline.production_revision}")
+
+    print("\n=== commit 3: honest 20% optimisation of `featurize` ===")
+    featurize = app.component("featurize")
+    optimised = app.with_component(
+        replace(featurize, work_gcycles=featurize.work_gcycles * 0.8,
+                work_gcycles_per_mb=featurize.work_gcycles_per_mb * 0.8)
+    )
+    repo.commit(optimised, "vectorise featurizer")
+    show(pipeline.run_to_completion())
+    print(f"  production now at revision {pipeline.production_revision}")
+
+
+if __name__ == "__main__":
+    main()

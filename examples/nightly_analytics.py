@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Scenario: nightly analytics with cost-window scheduling.
+
+The analytics job runs once per device per day and must be ready by
+morning — twelve hours of slack.  The uplink is congested at peak hours,
+so *when* the job ships matters: the cost-window scheduler scans the
+slack interval for the moment the (simulated) congestion price is lowest
+and defers dispatch to it.
+
+Run:  python examples/nightly_analytics.py
+"""
+
+import math
+
+from repro import (
+    CostWindowScheduler,
+    EagerScheduler,
+    Environment,
+    Job,
+    ObjectiveWeights,
+    OffloadController,
+    nightly_analytics_app,
+)
+from repro.metrics import Table
+
+SEED = 21
+DAY_S = 86_400.0
+N_DEVICES = 12
+SLACK_S = 12 * 3600.0
+
+
+def congestion_price(t: float) -> float:
+    """A diurnal congestion signal: expensive at 20:00, cheapest at 04:00.
+
+    Time zero is 18:00 (evening), when devices finish collecting the
+    day's logs and release their jobs.
+    """
+    hours = (18.0 + t / 3600.0) % 24.0
+    return 1.0 + 0.8 * math.cos((hours - 20.0) / 24.0 * 2 * math.pi)
+
+
+def make_jobs(app):
+    jobs = []
+    for device in range(N_DEVICES):
+        released = device * 300.0  # devices finish collection minutes apart
+        jobs.append(
+            Job(app, input_mb=8.0, released_at=released,
+                deadline=released + SLACK_S)
+        )
+    return jobs
+
+
+def run(scheduler_name, scheduler_factory):
+    env = Environment.build(seed=SEED, connectivity="4g")
+    controller = OffloadController(
+        env,
+        nightly_analytics_app(),
+        scheduler=scheduler_factory(),
+        weights=ObjectiveWeights.non_time_critical(),
+    )
+    controller.profile_offline()
+    controller.plan(input_mb=8.0)
+    report = controller.run_workload(make_jobs(controller.app))
+    dispatch_hours = [
+        (18.0 + r.started_at / 3600.0) % 24.0 for r in report.results
+    ]
+    return {
+        "scheduler": scheduler_name,
+        "jobs": report.jobs_completed,
+        "miss %": 100 * report.deadline_miss_rate,
+        "median dispatch h": sorted(dispatch_hours)[len(dispatch_hours) // 2],
+        "mean price paid": sum(
+            congestion_price(r.started_at) for r in report.results
+        ) / max(len(report.results), 1),
+        "cloud $": report.total_cloud_cost_usd,
+    }
+
+
+def main() -> None:
+    rows = [
+        run("eager (dispatch at 18:xx)", EagerScheduler),
+        run(
+            "cost-window (seek cheap hour)",
+            lambda: CostWindowScheduler(congestion_price, resolution_s=900.0),
+        ),
+    ]
+    table = Table(
+        ["scheduler", "jobs", "miss %", "median dispatch h",
+         "mean price paid", "cloud $"],
+        title=f"Nightly analytics — {N_DEVICES} devices, "
+              f"{SLACK_S / 3600:.0f} h slack",
+        precision=2,
+    )
+    for row in rows:
+        table.add_row(**row)
+    print(table)
+
+    eager, windowed = rows
+    saving = 100 * (1 - windowed["mean price paid"] / eager["mean price paid"])
+    print(
+        f"\nThe cost-window scheduler shifts dispatches from "
+        f"{eager['median dispatch h']:.0f}:00 to around "
+        f"{windowed['median dispatch h']:.0f}:00 and pays "
+        f"{saving:.0f}% less congestion price, with zero missed deadlines —"
+        f"\nslack is a resource, and non-time-critical jobs have plenty."
+    )
+
+
+if __name__ == "__main__":
+    main()

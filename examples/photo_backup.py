@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Scenario: overnight photo backup — policy comparison.
+
+A phone accumulates photos during the day and backs them up overnight.
+Nobody waits for the result, so every job carries hours of slack.  The
+script compares four placement/scheduling policies on the same workload
+and seed:
+
+* local-only            — everything on the phone;
+* full-offload, eager   — ship everything to the cloud immediately;
+* optimised, eager      — min-cut partition, immediate dispatch;
+* optimised, batched    — min-cut partition + deadline batching (the
+                          paper's non-time-critical configuration).
+
+Run:  python examples/photo_backup.py
+"""
+
+from repro import (
+    DeadlineBatcher,
+    EagerScheduler,
+    Environment,
+    Job,
+    ObjectiveWeights,
+    OffloadController,
+    photo_backup_app,
+)
+from repro.baselines import full_offload_controller, local_only_controller
+from repro.metrics import Table
+from repro.sim.rng import RngStream
+from repro.traces import DiurnalArrivals
+
+SEED = 7
+N_PHOTOS = 30
+SLACK_S = 4 * 3600.0  # four hours to finish each backup
+
+
+def make_jobs(app, rng_seed: int):
+    """Photos arrive on a diurnal curve (people shoot in the evening)."""
+    arrivals = DiurnalArrivals(
+        base_rate=N_PHOTOS / 36_000.0,  # spread over ~10 simulated hours
+        amplitude=0.7,
+        rng=RngStream(rng_seed),
+        period=86_400.0,
+    )
+    jobs = []
+    rng = RngStream(rng_seed + 1)
+    for released_at in arrivals.times(horizon=36_000.0):
+        size_mb = rng.lognormal_bounded(4.0, 0.5, low=0.5, high=20.0)
+        jobs.append(
+            Job(app, input_mb=size_mb, released_at=released_at,
+                deadline=released_at + SLACK_S)
+        )
+        if len(jobs) >= N_PHOTOS:
+            break
+    return jobs
+
+
+def run_policy(name, make_controller):
+    env = Environment.build(seed=SEED, connectivity="4g")
+    controller = make_controller(env)
+    if controller.partition is None:
+        controller.profile_offline()
+        controller.plan(input_mb=4.0)
+    report = controller.run_workload(make_jobs(controller.app, SEED))
+    return {
+        "policy": name,
+        "jobs": report.jobs_completed,
+        "miss %": 100 * report.deadline_miss_rate,
+        "mean resp s": report.mean_response_s,
+        "UE energy J": report.total_ue_energy_j,
+        "cloud $": report.total_cloud_cost_usd,
+        "cold %": 100 * env.platform.cold_start_fraction(),
+    }
+
+
+def main() -> None:
+    weights = ObjectiveWeights.non_time_critical()
+    rows = [
+        run_policy(
+            "local-only",
+            lambda env: local_only_controller(env, photo_backup_app()),
+        ),
+        run_policy(
+            "full-offload/eager",
+            lambda env: full_offload_controller(env, photo_backup_app()),
+        ),
+        run_policy(
+            "optimised/eager",
+            lambda env: OffloadController(
+                env, photo_backup_app(), scheduler=EagerScheduler(),
+                weights=weights,
+            ),
+        ),
+        run_policy(
+            "optimised/batched",
+            lambda env: OffloadController(
+                env, photo_backup_app(),
+                scheduler=DeadlineBatcher(window_s=1800.0),
+                weights=weights,
+            ),
+        ),
+    ]
+
+    table = Table(
+        ["policy", "jobs", "miss %", "mean resp s", "UE energy J",
+         "cloud $", "cold %"],
+        title=f"Overnight photo backup — {N_PHOTOS} photos, "
+              f"{SLACK_S / 3600:.0f} h slack, 4G uplink",
+        precision=2,
+    )
+    for row in rows:
+        table.add_row(**row)
+    print(table)
+
+    local = rows[0]
+    batched = rows[-1]
+    saving = 100 * (1 - batched["UE energy J"] / local["UE energy J"])
+    print(f"\nThe batched offloader spends {saving:.0f}% less phone energy "
+          f"than local-only while missing no deadlines.")
+
+
+if __name__ == "__main__":
+    main()

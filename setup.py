@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this file enables the legacy ``setup.py develop`` path via
+``pip install -e . --no-build-isolation``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — serverless computational offloading for non-time-critical
+applications.
+
+A complete, simulation-backed implementation of the framework proposed in
+R. Patsch, *Computational Offloading for Non-Time-Critical Applications*
+(ICDCS 2022): demand determination, serverless resource allocation, code
+partitioning, delay-tolerant scheduling, and CI/CD-integrated deployment,
+together with every substrate needed to evaluate them (discrete-event
+kernel, network/device/serverless/edge simulators, workload generators).
+
+Quickstart::
+
+    from repro import Environment, OffloadController, photo_backup_app, Job
+
+    env = Environment.build(seed=42, connectivity="4g")
+    controller = OffloadController(env, photo_backup_app())
+    controller.profile_offline()
+    controller.plan(input_mb=4.0)
+    report = controller.run_workload(
+        [Job(controller.app, input_mb=4.0, deadline=3600.0)]
+    )
+    print(report.mean_response_s, report.total_cloud_cost_usd)
+"""
+
+from repro.apps import (
+    AppGraph,
+    Component,
+    DataFlow,
+    Job,
+    JobResult,
+    ml_training_app,
+    nightly_analytics_app,
+    photo_backup_app,
+)
+from repro.core import (
+    ControllerReport,
+    CostWindowScheduler,
+    DeadlineBatcher,
+    DemandModel,
+    EagerScheduler,
+    Environment,
+    MemoryAllocator,
+    MinCutPartitioner,
+    ObjectiveWeights,
+    OffloadController,
+    OffloadPipeline,
+    Partition,
+    PartitionContext,
+)
+from repro.serverless import FunctionSpec, ServerlessPlatform
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppGraph",
+    "Component",
+    "ControllerReport",
+    "CostWindowScheduler",
+    "DataFlow",
+    "DeadlineBatcher",
+    "DemandModel",
+    "EagerScheduler",
+    "Environment",
+    "FunctionSpec",
+    "Job",
+    "JobResult",
+    "MemoryAllocator",
+    "MinCutPartitioner",
+    "ObjectiveWeights",
+    "OffloadController",
+    "OffloadPipeline",
+    "Partition",
+    "PartitionContext",
+    "ServerlessPlatform",
+    "Simulator",
+    "__version__",
+    "ml_training_app",
+    "nightly_analytics_app",
+    "photo_backup_app",
+]

@@ -1,0 +1,177 @@
+"""Breakeven calculators and report comparison helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from repro.apps.graph import AppGraph
+from repro.core.controller import ControllerReport
+from repro.core.partitioning import (
+    ObjectiveWeights,
+    Partition,
+    PartitionContext,
+    evaluate_partition,
+)
+from repro.edge.node import EdgeNodeSpec
+from repro.metrics import Table
+from repro.serverless.billing import BillingModel
+
+
+def _objective_at(
+    app: AppGraph,
+    input_mb: float,
+    uplink_bps: float,
+    partition: Partition,
+    weights: ObjectiveWeights,
+    ue_cycles_per_second: float,
+) -> float:
+    work = {c.name: c.work_for(input_mb) for c in app.components}
+    ctx = PartitionContext(
+        app=app,
+        input_mb=input_mb,
+        work=work,
+        uplink_bps=uplink_bps,
+        downlink_bps=uplink_bps * 4,
+        ue_cycles_per_second=ue_cycles_per_second,
+        weights=weights,
+    )
+    return evaluate_partition(ctx, partition).objective
+
+
+def crossover_bandwidth(
+    app: AppGraph,
+    input_mb: float = 4.0,
+    weights: Optional[ObjectiveWeights] = None,
+    lo_bps: float = 1e3,
+    hi_bps: float = 1e9,
+    ue_cycles_per_second: float = 1.2e9,
+    tolerance: float = 1e-3,
+) -> Optional[float]:
+    """Uplink rate (bytes/s) where full-offload matches local-only.
+
+    Uses the planning model, bisecting on the objective difference
+    ``full_offload − local_only`` (which is monotone decreasing in
+    bandwidth: transfers get cheaper, local does not change).  Returns
+    ``None`` when one side dominates over the whole range — e.g. a
+    compute-heavy app whose offload wins even at ``lo_bps``.
+    """
+    weights = weights or ObjectiveWeights()
+    local = Partition.local_only(app)
+    full = Partition.full_offload(app)
+
+    def gap(bps: float) -> float:
+        return _objective_at(
+            app, input_mb, bps, full, weights, ue_cycles_per_second
+        ) - _objective_at(
+            app, input_mb, bps, local, weights, ue_cycles_per_second
+        )
+
+    gap_lo, gap_hi = gap(lo_bps), gap(hi_bps)
+    if gap_lo <= 0 or gap_hi >= 0:
+        return None  # no crossover inside the range
+    lo, hi = lo_bps, hi_bps
+    while hi / lo > 1 + tolerance:
+        mid = math.sqrt(lo * hi)  # bisect in log space
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)
+
+
+def edge_breakeven_rate(
+    app: AppGraph,
+    input_mb: float = 4.0,
+    edge_spec: Optional[EdgeNodeSpec] = None,
+    billing: Optional[BillingModel] = None,
+    memory_mb: float = 1769.0,
+) -> float:
+    """Jobs/hour above which a provisioned edge node is cheaper than
+    serverless for this app's offloadable work.
+
+    Serverless bills per job; the edge bills per hour regardless.  The
+    breakeven is ``hourly_cost / serverless_cost_per_job``.  (Capacity
+    limits are ignored — the returned rate may exceed what one node can
+    actually serve; compare against ``edge_spec`` throughput separately.)
+    """
+    edge_spec = edge_spec or EdgeNodeSpec()
+    billing = billing or BillingModel()
+    per_job = 0.0
+    for component in app.components:
+        if not component.offloadable:
+            continue
+        work = component.work_for(input_mb)
+        from repro.serverless.function import execution_time
+
+        duration = execution_time(work, memory_mb, component.parallel_fraction)
+        per_job += billing.invocation_cost(duration, memory_mb).total
+    if per_job <= 0:
+        return math.inf
+    return edge_spec.hourly_cost_usd / per_job
+
+
+def compare_reports(
+    baseline: ControllerReport, other: ControllerReport
+) -> Dict[str, float]:
+    """Relative deltas of ``other`` vs ``baseline`` (negative = lower).
+
+    Keys: ``energy``, ``cost``, ``response`` (each ``other/baseline − 1``)
+    and ``miss_delta`` (absolute difference in miss rate).
+    """
+
+    def ratio(a: float, b: float) -> float:
+        if b == 0:
+            return math.inf if a > 0 else 0.0
+        return a / b - 1.0
+
+    return {
+        "energy": ratio(other.total_ue_energy_j, baseline.total_ue_energy_j),
+        "cost": ratio(other.total_cloud_cost_usd, baseline.total_cloud_cost_usd),
+        "response": ratio(other.mean_response_s, baseline.mean_response_s),
+        "miss_delta": other.deadline_miss_rate - baseline.deadline_miss_rate,
+    }
+
+
+def energy_summary(report: ControllerReport) -> Dict[str, float]:
+    """Per-activity energy totals across every completed job."""
+    totals: Dict[str, float] = {}
+    for result in report.results:
+        for kind, joules in result.energy_breakdown.items():
+            totals[kind] = totals.get(kind, 0.0) + joules
+    return totals
+
+
+def savings_table(
+    reports: Mapping[str, ControllerReport],
+    baseline: str,
+    title: str = "Policy comparison",
+) -> Table:
+    """A table of each policy's deltas against ``baseline``."""
+    if baseline not in reports:
+        raise KeyError(f"baseline {baseline!r} not among reports")
+    table = Table(
+        ["policy", "energy Δ%", "cost Δ%", "response Δ%", "miss Δpp"],
+        title=title,
+        precision=1,
+    )
+    base = reports[baseline]
+    for name, report in reports.items():
+        deltas = compare_reports(base, report)
+        table.add_row(
+            name + (" (baseline)" if name == baseline else ""),
+            100 * deltas["energy"],
+            100 * deltas["cost"] if math.isfinite(deltas["cost"]) else None,
+            100 * deltas["response"],
+            100 * deltas["miss_delta"],
+        )
+    return table
+
+
+__all__ = [
+    "compare_reports",
+    "crossover_bandwidth",
+    "edge_breakeven_rate",
+    "energy_summary",
+    "savings_table",
+]

@@ -1,0 +1,46 @@
+"""Application model: components, call graphs, and concrete workloads.
+
+An application is a DAG of :class:`Component`\\ s (units of partitionable
+code) connected by :class:`DataFlow` edges (bytes that must move if the
+two endpoints land on different sides of the partition).  Work and data
+both scale with the job's input size, which is what makes the demand
+determination contribution (C1) non-trivial.
+
+Three concrete applications mirror the non-time-critical use cases the
+paper's framing motivates (:mod:`repro.apps.catalog`), and
+:mod:`repro.apps.generators` synthesises random graph families for the
+partitioning ablations.
+"""
+
+from repro.apps.graph import AppGraph, Component, DataFlow
+from repro.apps.jobs import Job, JobResult
+from repro.apps.catalog import (
+    document_ocr_app,
+    ml_training_app,
+    nightly_analytics_app,
+    photo_backup_app,
+    video_highlights_app,
+)
+from repro.apps.generators import (
+    fanout_fanin_app,
+    layered_random_app,
+    linear_pipeline_app,
+    random_tree_app,
+)
+
+__all__ = [
+    "AppGraph",
+    "Component",
+    "DataFlow",
+    "Job",
+    "JobResult",
+    "document_ocr_app",
+    "fanout_fanin_app",
+    "layered_random_app",
+    "linear_pipeline_app",
+    "ml_training_app",
+    "nightly_analytics_app",
+    "photo_backup_app",
+    "random_tree_app",
+    "video_highlights_app",
+]

@@ -1,0 +1,292 @@
+"""Three concrete non-time-critical applications.
+
+These are the motivating workloads of the paper's framing: jobs whose
+users do not sit waiting on the result, so minutes of slack are available
+and the cloud's higher round-trip time is irrelevant.
+
+* **photo backup** — a phone uploads photos overnight; thumbnails,
+  feature extraction and dedup hashing can run anywhere.
+* **nightly analytics** — a mobile app aggregates the day's usage log
+  into reports.
+* **ML training** — periodic on-device-data model fine-tuning, the
+  classic compute-heavy delay-tolerant job.
+
+Numbers are calibrated so that on a 1.2 GHz UE core the heavy stages take
+tens of seconds to minutes — the regime where offloading pays.
+"""
+
+from __future__ import annotations
+
+from repro.apps.graph import AppGraph, Component, DataFlow
+
+MB = 1e6  # bytes
+
+
+def photo_backup_app() -> AppGraph:
+    """Overnight photo-backup pipeline.
+
+    ``capture`` and ``notify`` touch device storage/UI and are pinned
+    local; everything between is offloadable.  Data shrinks down the
+    pipeline (raw photo → derived artefacts), so cutting late is cheap.
+    """
+    components = [
+        Component("capture", work_gcycles=0.1, offloadable=False, package_mb=0),
+        Component(
+            "transcode",
+            work_gcycles=2.0,
+            work_gcycles_per_mb=3.0,
+            parallel_fraction=0.8,
+            package_mb=60,
+        ),
+        Component(
+            "thumbnail",
+            work_gcycles=0.5,
+            work_gcycles_per_mb=0.6,
+            parallel_fraction=0.5,
+            package_mb=25,
+        ),
+        Component(
+            "feature_extract",
+            work_gcycles=4.0,
+            work_gcycles_per_mb=5.0,
+            parallel_fraction=0.9,
+            package_mb=120,
+        ),
+        Component(
+            "dedup_hash",
+            work_gcycles=0.3,
+            work_gcycles_per_mb=0.4,
+            package_mb=10,
+        ),
+        Component(
+            "index_update",
+            work_gcycles=0.4,
+            work_gcycles_per_mb=0.05,
+            package_mb=15,
+        ),
+        Component("notify", work_gcycles=0.05, offloadable=False, package_mb=0),
+    ]
+    flows = [
+        DataFlow("capture", "transcode", bytes_per_mb=1.0),  # the raw photo
+        DataFlow("transcode", "thumbnail", bytes_per_mb=0.5),
+        DataFlow("transcode", "feature_extract", bytes_per_mb=0.5),
+        DataFlow("thumbnail", "index_update", bytes_per_mb=0.02),
+        DataFlow("feature_extract", "dedup_hash", bytes_per_mb=0.01),
+        DataFlow("dedup_hash", "index_update", bytes_fixed=4096),
+        DataFlow("index_update", "notify", bytes_fixed=1024),
+    ]
+    return AppGraph("photo_backup", components, flows)
+
+
+def nightly_analytics_app() -> AppGraph:
+    """End-of-day usage-log aggregation.
+
+    A linear extract→clean→aggregate→report pipeline; ``collect`` reads
+    local logs and stays, the heavy aggregation is the offload candidate.
+    """
+    components = [
+        Component("collect", work_gcycles=0.2, offloadable=False, package_mb=0),
+        Component(
+            "parse",
+            work_gcycles=0.5,
+            work_gcycles_per_mb=1.2,
+            package_mb=20,
+        ),
+        Component(
+            "clean",
+            work_gcycles=0.8,
+            work_gcycles_per_mb=1.5,
+            package_mb=25,
+        ),
+        Component(
+            "aggregate",
+            work_gcycles=6.0,
+            work_gcycles_per_mb=8.0,
+            parallel_fraction=0.85,
+            package_mb=80,
+        ),
+        Component(
+            "report",
+            work_gcycles=0.6,
+            work_gcycles_per_mb=0.1,
+            package_mb=30,
+        ),
+        Component("store", work_gcycles=0.1, offloadable=False, package_mb=0),
+    ]
+    flows = [
+        DataFlow("collect", "parse", bytes_per_mb=1.0),
+        DataFlow("parse", "clean", bytes_per_mb=0.8),
+        DataFlow("clean", "aggregate", bytes_per_mb=0.7),
+        DataFlow("aggregate", "report", bytes_per_mb=0.05),
+        DataFlow("report", "store", bytes_fixed=200_000),
+    ]
+    return AppGraph("nightly_analytics", components, flows)
+
+
+def ml_training_app() -> AppGraph:
+    """Periodic model fine-tuning on device-collected data.
+
+    The ``train`` stage dominates everything (hundreds of gigacycles);
+    with any reasonable uplink the optimal cut ships the featureised
+    dataset to the cloud and pulls back only the model delta.
+    """
+    components = [
+        Component("sample_data", work_gcycles=0.3, offloadable=False, package_mb=0),
+        Component(
+            "featurize",
+            work_gcycles=3.0,
+            work_gcycles_per_mb=4.0,
+            parallel_fraction=0.7,
+            package_mb=90,
+        ),
+        Component(
+            "train",
+            work_gcycles=120.0,
+            work_gcycles_per_mb=40.0,
+            parallel_fraction=0.95,
+            package_mb=250,
+        ),
+        Component(
+            "evaluate",
+            work_gcycles=8.0,
+            work_gcycles_per_mb=2.0,
+            parallel_fraction=0.9,
+            package_mb=250,
+        ),
+        Component(
+            "compress_model",
+            work_gcycles=2.0,
+            package_mb=40,
+        ),
+        Component("apply_update", work_gcycles=0.5, offloadable=False, package_mb=0),
+    ]
+    flows = [
+        DataFlow("sample_data", "featurize", bytes_per_mb=1.0),
+        DataFlow("featurize", "train", bytes_per_mb=0.4),
+        DataFlow("train", "evaluate", bytes_fixed=8 * MB),
+        DataFlow("evaluate", "compress_model", bytes_fixed=8 * MB),
+        DataFlow("compress_model", "apply_update", bytes_fixed=2 * MB),
+    ]
+    return AppGraph("ml_training", components, flows)
+
+
+def document_ocr_app() -> AppGraph:
+    """Batch OCR of scanned documents (expense receipts, paper mail).
+
+    Scans pile up during the day and are digitised overnight.  Layout
+    analysis and recognition are compute-heavy and highly parallel
+    (per-page); the searchable-PDF assembly is light.  Output text is
+    tiny relative to input images — the ideal one-way-up data shape.
+    """
+    components = [
+        Component("scan_intake", work_gcycles=0.2, offloadable=False, package_mb=0),
+        Component(
+            "preprocess",  # deskew, binarise
+            work_gcycles=1.0,
+            work_gcycles_per_mb=2.0,
+            parallel_fraction=0.9,
+            package_mb=35,
+        ),
+        Component(
+            "layout_analysis",
+            work_gcycles=3.0,
+            work_gcycles_per_mb=4.0,
+            parallel_fraction=0.85,
+            package_mb=110,
+            min_memory_mb=512,
+        ),
+        Component(
+            "recognize",
+            work_gcycles=10.0,
+            work_gcycles_per_mb=15.0,
+            parallel_fraction=0.95,
+            package_mb=180,
+            min_memory_mb=1024,
+        ),
+        Component(
+            "assemble_pdf",
+            work_gcycles=0.8,
+            work_gcycles_per_mb=0.3,
+            package_mb=25,
+        ),
+        Component("file_result", work_gcycles=0.1, offloadable=False, package_mb=0),
+    ]
+    flows = [
+        DataFlow("scan_intake", "preprocess", bytes_per_mb=1.0),
+        DataFlow("preprocess", "layout_analysis", bytes_per_mb=0.8),
+        DataFlow("layout_analysis", "recognize", bytes_per_mb=0.8),
+        DataFlow("recognize", "assemble_pdf", bytes_per_mb=0.05),
+        DataFlow("assemble_pdf", "file_result", bytes_per_mb=0.06),
+    ]
+    return AppGraph("document_ocr", components, flows)
+
+
+def video_highlights_app() -> AppGraph:
+    """Overnight sports-video highlight extraction.
+
+    A camera records hours of footage; by morning the user wants a clip
+    reel.  Scene detection and action scoring fan out from the decoded
+    stream; the final render joins them.  Video is heavy both in cycles
+    and bytes, making the partition genuinely bandwidth-sensitive.
+    """
+    components = [
+        Component("ingest", work_gcycles=0.5, offloadable=False, package_mb=0),
+        Component(
+            "decode",
+            work_gcycles=4.0,
+            work_gcycles_per_mb=2.5,
+            parallel_fraction=0.7,
+            package_mb=55,
+        ),
+        Component(
+            "scene_detect",
+            work_gcycles=6.0,
+            work_gcycles_per_mb=3.0,
+            parallel_fraction=0.9,
+            package_mb=70,
+        ),
+        Component(
+            "action_score",
+            work_gcycles=20.0,
+            work_gcycles_per_mb=10.0,
+            parallel_fraction=0.95,
+            package_mb=220,
+            min_memory_mb=2048,
+        ),
+        Component(
+            "render_reel",
+            work_gcycles=8.0,
+            work_gcycles_per_mb=1.5,
+            parallel_fraction=0.8,
+            package_mb=60,
+        ),
+        Component("publish", work_gcycles=0.2, offloadable=False, package_mb=0),
+    ]
+    flows = [
+        DataFlow("ingest", "decode", bytes_per_mb=1.0),
+        DataFlow("decode", "scene_detect", bytes_per_mb=0.6),
+        DataFlow("decode", "action_score", bytes_per_mb=0.6),
+        DataFlow("scene_detect", "render_reel", bytes_per_mb=0.02),
+        DataFlow("action_score", "render_reel", bytes_per_mb=0.02),
+        DataFlow("render_reel", "publish", bytes_per_mb=0.15),
+    ]
+    return AppGraph("video_highlights", components, flows)
+
+
+CATALOG = {
+    "photo_backup": photo_backup_app,
+    "nightly_analytics": nightly_analytics_app,
+    "ml_training": ml_training_app,
+    "document_ocr": document_ocr_app,
+    "video_highlights": video_highlights_app,
+}
+
+
+__all__ = [
+    "CATALOG",
+    "document_ocr_app",
+    "ml_training_app",
+    "nightly_analytics_app",
+    "photo_backup_app",
+    "video_highlights_app",
+]

@@ -1,0 +1,164 @@
+"""Synthetic application generators for the partitioning ablations.
+
+Each generator produces an :class:`~repro.apps.graph.AppGraph` with
+randomised (but reproducible) demands and data sizes.  Entry and exit
+components are always pinned to the UE, matching the structure of real
+offloadable apps where I/O endpoints touch the device.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.graph import AppGraph, Component, DataFlow
+from repro.sim.rng import RngStream
+
+
+def _random_component(
+    name: str,
+    rng: RngStream,
+    offloadable: bool = True,
+    work_scale: float = 1.0,
+) -> Component:
+    return Component(
+        name=name,
+        work_gcycles=rng.lognormal_bounded(2.0 * work_scale, 0.8, low=0.05, high=200),
+        work_gcycles_per_mb=rng.lognormal_bounded(1.0, 0.8, low=0.0, high=50),
+        offloadable=offloadable,
+        parallel_fraction=rng.uniform(0.0, 0.95),
+        package_mb=rng.lognormal_bounded(40, 0.6, low=1, high=400),
+    )
+
+
+def _random_flow(src: str, dst: str, rng: RngStream, data_scale: float = 1.0) -> DataFlow:
+    return DataFlow(
+        src=src,
+        dst=dst,
+        bytes_fixed=rng.lognormal_bounded(100_000 * data_scale, 1.0, low=0, high=5e8),
+        bytes_per_mb=rng.lognormal_bounded(0.2 * data_scale, 0.8, low=0.0, high=2.0),
+    )
+
+
+def linear_pipeline_app(
+    n_stages: int,
+    rng: RngStream,
+    name: Optional[str] = None,
+    work_scale: float = 1.0,
+    data_scale: float = 1.0,
+) -> AppGraph:
+    """A chain of ``n_stages`` components; first and last pinned local."""
+    if n_stages < 2:
+        raise ValueError(f"need at least 2 stages, got {n_stages}")
+    components: List[Component] = []
+    for i in range(n_stages):
+        pinned = i == 0 or i == n_stages - 1
+        components.append(
+            _random_component(f"s{i}", rng, offloadable=not pinned, work_scale=work_scale)
+        )
+    flows = [
+        _random_flow(f"s{i}", f"s{i + 1}", rng, data_scale)
+        for i in range(n_stages - 1)
+    ]
+    return AppGraph(name or f"pipeline{n_stages}", components, flows)
+
+
+def fanout_fanin_app(
+    width: int,
+    rng: RngStream,
+    name: Optional[str] = None,
+    work_scale: float = 1.0,
+    data_scale: float = 1.0,
+) -> AppGraph:
+    """source → ``width`` parallel workers → sink (map/reduce shape)."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    components = [_random_component("source", rng, offloadable=False)]
+    flows: List[DataFlow] = []
+    for i in range(width):
+        worker = f"worker{i}"
+        components.append(_random_component(worker, rng, work_scale=work_scale))
+        flows.append(_random_flow("source", worker, rng, data_scale))
+    components.append(_random_component("sink", rng, offloadable=False))
+    for i in range(width):
+        flows.append(_random_flow(f"worker{i}", "sink", rng, data_scale))
+    return AppGraph(name or f"fanout{width}", components, flows)
+
+
+def random_tree_app(
+    n_components: int,
+    rng: RngStream,
+    name: Optional[str] = None,
+    work_scale: float = 1.0,
+    data_scale: float = 1.0,
+) -> AppGraph:
+    """A random out-tree rooted at a pinned source component.
+
+    Trees are the family where the DP partitioner is provably optimal,
+    which ablation A1 exploits.
+    """
+    if n_components < 1:
+        raise ValueError(f"need at least 1 component, got {n_components}")
+    components = [_random_component("c0", rng, offloadable=False)]
+    flows: List[DataFlow] = []
+    for i in range(1, n_components):
+        parent = rng.integer(0, i)
+        components.append(_random_component(f"c{i}", rng, work_scale=work_scale))
+        flows.append(_random_flow(f"c{parent}", f"c{i}", rng, data_scale))
+    return AppGraph(name or f"tree{n_components}", components, flows)
+
+
+def layered_random_app(
+    n_layers: int,
+    layer_width: int,
+    rng: RngStream,
+    edge_probability: float = 0.5,
+    name: Optional[str] = None,
+    work_scale: float = 1.0,
+    data_scale: float = 1.0,
+) -> AppGraph:
+    """A layered random DAG (the standard scheduling-benchmark family).
+
+    Every component in layer *k* connects to each component of layer
+    *k+1* with ``edge_probability``; isolated components are reconnected
+    to a random next-layer node so the graph stays weakly connected.
+    """
+    if n_layers < 2:
+        raise ValueError(f"need at least 2 layers, got {n_layers}")
+    if layer_width < 1:
+        raise ValueError(f"layer width must be >= 1, got {layer_width}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+
+    components = [_random_component("entry", rng, offloadable=False)]
+    layers: List[List[str]] = [["entry"]]
+    for layer in range(1, n_layers - 1):
+        names = [f"l{layer}n{i}" for i in range(layer_width)]
+        for comp_name in names:
+            components.append(_random_component(comp_name, rng, work_scale=work_scale))
+        layers.append(names)
+    components.append(_random_component("exit", rng, offloadable=False))
+    layers.append(["exit"])
+
+    flows: List[DataFlow] = []
+    for upper, lower in zip(layers, layers[1:]):
+        connected_below = set()
+        for src in upper:
+            fanout = [dst for dst in lower if rng.bernoulli(edge_probability)]
+            if not fanout:
+                fanout = [lower[rng.integer(0, len(lower))]]
+            for dst in fanout:
+                flows.append(_random_flow(src, dst, rng, data_scale))
+                connected_below.add(dst)
+        for dst in lower:
+            if dst not in connected_below:
+                src = upper[rng.integer(0, len(upper))]
+                flows.append(_random_flow(src, dst, rng, data_scale))
+    return AppGraph(name or f"layered{n_layers}x{layer_width}", components, flows)
+
+
+__all__ = [
+    "fanout_fanin_app",
+    "layered_random_app",
+    "linear_pipeline_app",
+    "random_tree_app",
+]

@@ -1,0 +1,133 @@
+"""Structural linting for application graphs.
+
+`AppGraph` enforces hard invariants (acyclicity, dangling references) at
+construction; the linter catches the *soft* mistakes that make an app
+technically valid but practically mis-modelled — the checks a reviewer
+would make on a new catalog entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.graph import AppGraph
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One finding: a rule code, the subject, and an explanation."""
+
+    code: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.subject}: {self.message}"
+
+
+def lint_app(app: AppGraph) -> List[LintWarning]:
+    """Run every rule; returns warnings sorted by (code, subject)."""
+    warnings: List[LintWarning] = []
+
+    # W001: entry/exit components should be pinned — they touch device
+    # hardware (sensors, storage, UI) by construction.
+    for name in app.entry_components + app.exit_components:
+        if app.component(name).offloadable:
+            warnings.append(
+                LintWarning(
+                    "W001",
+                    name,
+                    "entry/exit component is offloadable; device I/O "
+                    "endpoints usually cannot leave the UE",
+                )
+            )
+
+    # W002: isolated components (no flows at all) never receive or
+    # produce data — almost always a forgotten edge.
+    if len(app) > 1:
+        for name in app.component_names:
+            if not app.predecessors(name) and not app.successors(name):
+                warnings.append(
+                    LintWarning(
+                        "W002", name,
+                        "component has no data flows; is an edge missing?",
+                    )
+                )
+
+    # W003: zero-work offloadable components pay a cold start and a
+    # request fee for nothing.
+    for component in app.components:
+        if (
+            component.offloadable
+            and component.work_gcycles == 0
+            and component.work_gcycles_per_mb == 0
+        ):
+            warnings.append(
+                LintWarning(
+                    "W003", component.name,
+                    "offloadable component has zero computational demand; "
+                    "offloading it can only cost",
+                )
+            )
+
+    # W004: a memory floor below the platform minimum (128 MB) is
+    # meaningless; above 10 GB is undeployable.
+    for component in app.components:
+        if component.min_memory_mb > 10240:
+            warnings.append(
+                LintWarning(
+                    "W004", component.name,
+                    f"memory floor {component.min_memory_mb:.0f} MB exceeds "
+                    "the largest serverless tier (10240 MB)",
+                )
+            )
+
+    # W005: an edge that carries more data than the producing
+    # component's input suggests inverted per-MB coefficients.
+    for flow in app.flows:
+        if flow.bytes_per_mb > 1.5:
+            warnings.append(
+                LintWarning(
+                    "W005", f"{flow.src}->{flow.dst}",
+                    f"edge amplifies input data {flow.bytes_per_mb:.1f}x; "
+                    "verify the per-MB coefficient",
+                )
+            )
+
+    # W006: every component should be reachable from some entry —
+    # unreachable ones will deadlock a job waiting on inputs that never
+    # come (cannot happen for DAGs whose non-entry nodes all have
+    # predecessors, but multi-root graphs can still strand subgraphs).
+    reachable = set(app.entry_components)
+    for name in app.component_names:
+        if any(p in reachable for p in app.predecessors(name)):
+            reachable.add(name)
+    for name in app.component_names:
+        if name not in reachable:
+            warnings.append(
+                LintWarning(
+                    "W006", name,
+                    "component unreachable from any entry component",
+                )
+            )
+
+    # W007: pinned components with heavy demand defeat offloading's
+    # purpose; flag anything pinned that dominates the app's work.
+    total = app.total_work(1.0)
+    if total > 0:
+        for name in app.pinned_names():
+            share = app.component(name).work_for(1.0) / total
+            if share > 0.5:
+                warnings.append(
+                    LintWarning(
+                        "W007", name,
+                        f"pinned component holds {share:.0%} of total demand; "
+                        "nothing meaningful can be offloaded",
+                    )
+                )
+
+    return sorted(warnings, key=lambda w: (w.code, w.subject))
+
+
+__all__ = ["LintWarning", "lint_app"]

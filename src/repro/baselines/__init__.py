@@ -1,0 +1,29 @@
+"""Baseline policies the evaluation compares against.
+
+* :func:`local_only_controller` / :func:`full_offload_controller` — the
+  two trivial placements every offloading paper brackets itself with;
+* :class:`RandomPartitioner` — sanity floor for partition quality;
+* :class:`MyopicLatencyPartitioner` — per-component greedy rule
+  ("offload iff remote execution plus transfer beats local"), the naive
+  heuristic practitioners reach for first;
+* :class:`EdgeEnvironment` / :class:`EdgeJobRunner` — the
+  edge-computing alternative (provisioned node at the access network)
+  the paper argues non-time-critical workloads do not need.
+"""
+
+from repro.baselines.edge_runner import EdgeEnvironment, EdgeJobRunner
+from repro.baselines.policies import (
+    MyopicLatencyPartitioner,
+    RandomPartitioner,
+    full_offload_controller,
+    local_only_controller,
+)
+
+__all__ = [
+    "EdgeEnvironment",
+    "EdgeJobRunner",
+    "MyopicLatencyPartitioner",
+    "RandomPartitioner",
+    "full_offload_controller",
+    "local_only_controller",
+]

@@ -1,0 +1,29 @@
+"""CI/CD substrate: repositories, builds, artifacts, deployments.
+
+Contribution C4 integrates offloading into "a modern software deployment
+process".  This package models that process on the simulation kernel:
+
+* :class:`SourceRepository` — versioned application revisions (commits);
+* :class:`BuildSystem` — turns a revision into per-component artifacts,
+  charging simulated build time;
+* :class:`ArtifactRegistry` — stores and serves artifacts;
+* :class:`DeploymentTarget` — pushes function artifacts onto the
+  serverless platform, charging per-function deployment time.
+
+:mod:`repro.core.pipeline` composes these into the full
+build→profile→partition→allocate→deploy→canary→promote pipeline.
+"""
+
+from repro.cicd.artifacts import Artifact, ArtifactRegistry
+from repro.cicd.build import BuildSystem
+from repro.cicd.deploy import DeploymentTarget
+from repro.cicd.repo import Commit, SourceRepository
+
+__all__ = [
+    "Artifact",
+    "ArtifactRegistry",
+    "BuildSystem",
+    "Commit",
+    "DeploymentTarget",
+    "SourceRepository",
+]

@@ -1,0 +1,90 @@
+"""Build artifacts and the registry that stores them."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One deployable unit: a component packaged at a specific revision."""
+
+    app: str
+    component: str
+    revision: str
+    package_mb: float
+    digest: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """(app, component, revision) — unique identity in a registry."""
+        return (self.app, self.component, self.revision)
+
+    @staticmethod
+    def build(app: str, component: str, revision: str, package_mb: float) -> "Artifact":
+        """Construct an artifact, deriving a content digest."""
+        if package_mb < 0:
+            raise ValueError("package size must be >= 0")
+        digest = hashlib.sha256(
+            f"{app}/{component}@{revision}:{package_mb}".encode()
+        ).hexdigest()[:16]
+        return Artifact(
+            app=app,
+            component=component,
+            revision=revision,
+            package_mb=package_mb,
+            digest=digest,
+        )
+
+
+class ArtifactRegistry:
+    """Content-addressed artifact storage.
+
+    Pushing an identical key twice is idempotent; pushing a *different*
+    digest under an existing key is rejected, mirroring immutable-tag
+    registries.
+    """
+
+    def __init__(self, name: str = "registry") -> None:
+        self.name = name
+        self._store: Dict[Tuple[str, str, str], Artifact] = {}
+        self.pushes = 0
+        self.pulls = 0
+
+    def push(self, artifact: Artifact) -> None:
+        """Store an artifact (idempotent on identical content)."""
+        existing = self._store.get(artifact.key)
+        if existing is not None and existing.digest != artifact.digest:
+            raise ValueError(
+                f"digest conflict for {artifact.key}: "
+                f"{existing.digest} vs {artifact.digest}"
+            )
+        self._store[artifact.key] = artifact
+        self.pushes += 1
+
+    def pull(self, app: str, component: str, revision: str) -> Artifact:
+        """Fetch an artifact by identity."""
+        key = (app, component, revision)
+        if key not in self._store:
+            raise KeyError(f"artifact {key} not in registry {self.name!r}")
+        self.pulls += 1
+        return self._store[key]
+
+    def has(self, app: str, component: str, revision: str) -> bool:
+        """True when the artifact is stored."""
+        return (app, component, revision) in self._store
+
+    def list_revision(self, app: str, revision: str) -> List[Artifact]:
+        """All artifacts of one app revision, sorted by component."""
+        return sorted(
+            (a for a in self._store.values() if a.app == app and a.revision == revision),
+            key=lambda a: a.component,
+        )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+__all__ = ["Artifact", "ArtifactRegistry"]

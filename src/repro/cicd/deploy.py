@@ -1,0 +1,122 @@
+"""Deployment target: pushes artifacts onto the serverless platform."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cicd.artifacts import Artifact
+from repro.serverless.function import FunctionSpec
+from repro.serverless.platform import ServerlessPlatform
+from repro.sim import Event, Simulator
+
+
+class DeploymentTarget:
+    """Adapter between registry artifacts and platform functions.
+
+    Deploying a function charges ``fixed_s`` plus ``per_mb_s`` per
+    package megabyte (upload + sandbox image build).  Deployment history
+    is retained so rollback can restore an earlier revision's exact
+    function set without rebuilding.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: ServerlessPlatform,
+        fixed_s: float = 5.0,
+        per_mb_s: float = 0.2,
+        namespace: str = "",
+    ) -> None:
+        if fixed_s < 0 or per_mb_s < 0:
+            raise ValueError("deploy-time parameters must be >= 0")
+        self.sim = sim
+        self.platform = platform
+        self.fixed_s = fixed_s
+        self.per_mb_s = per_mb_s
+        self.namespace = namespace
+        self.deployments = 0
+        #: revision -> the function specs that revision deployed
+        self.history: Dict[str, List[FunctionSpec]] = {}
+
+    def function_name(self, artifact: Artifact) -> str:
+        """Platform function name of one artifact."""
+        return f"{self.namespace}{artifact.app}.{artifact.component}"
+
+    def deploy_revision(
+        self,
+        revision: str,
+        artifacts: List[Artifact],
+        memory_plan: Dict[str, float],
+        parallel_fractions: Optional[Dict[str, float]] = None,
+    ) -> Event:
+        """Deploy the cloud-side artifacts of one revision.
+
+        ``memory_plan`` maps component name → memory MB (only components
+        in the plan are deployed — the partition decides membership).
+        Process event yields the list of deployed function names.
+        """
+        fractions = parallel_fractions or {}
+        specs = []
+        for artifact in artifacts:
+            if artifact.component not in memory_plan:
+                continue
+            specs.append(
+                (
+                    artifact,
+                    FunctionSpec(
+                        name=self.function_name(artifact),
+                        memory_mb=memory_plan[artifact.component],
+                        package_mb=artifact.package_mb,
+                        parallel_fraction=fractions.get(artifact.component, 0.0),
+                    ),
+                )
+            )
+        return self.sim.spawn(
+            self._deploy_proc(revision, specs), name=f"deploy.{revision}"
+        )
+
+    def _deploy_proc(
+        self, revision: str, specs: List[Tuple[Artifact, FunctionSpec]]
+    ) -> Generator[Event, object, List[str]]:
+        deployed = []
+        for artifact, spec in specs:
+            changed = (
+                not self.platform.is_deployed(spec.name)
+                or self.platform.spec(spec.name) != spec
+            )
+            if changed:
+                yield self.sim.timeout(
+                    self.fixed_s + self.per_mb_s * artifact.package_mb
+                )
+                self.platform.deploy(spec)
+                self.deployments += 1
+            deployed.append(spec.name)
+        self.history[revision] = [spec for _a, spec in specs]
+        return deployed
+
+    def rollback(self, revision: str) -> Event:
+        """Restore the function set a previous revision deployed."""
+        if revision not in self.history:
+            raise KeyError(f"no deployment history for revision {revision!r}")
+        specs = self.history[revision]
+        return self.sim.spawn(self._rollback_proc(specs), name=f"rollback.{revision}")
+
+    def _rollback_proc(
+        self, specs: List[FunctionSpec]
+    ) -> Generator[Event, object, List[str]]:
+        names = []
+        for spec in specs:
+            changed = (
+                not self.platform.is_deployed(spec.name)
+                or self.platform.spec(spec.name) != spec
+            )
+            if changed:
+                # Rollbacks reuse cached images: fixed cost only.
+                yield self.sim.timeout(self.fixed_s)
+                self.platform.deploy(spec)
+                self.deployments += 1
+            names.append(spec.name)
+        return names
+
+
+__all__ = ["DeploymentTarget"]

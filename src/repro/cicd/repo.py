@@ -1,0 +1,103 @@
+"""Versioned source repository of application revisions.
+
+A *commit* snapshots an :class:`~repro.apps.graph.AppGraph`.  The pipeline
+always builds a specific commit, and rollback means redeploying the
+artifacts of an earlier one — so the repository is the system of record
+for what can be deployed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.graph import AppGraph
+
+
+def _content_digest(app: AppGraph) -> str:
+    hasher = hashlib.sha256()
+    for component in app.components:
+        hasher.update(
+            f"{component.name}:{component.work_gcycles}:{component.work_gcycles_per_mb}"
+            f":{component.offloadable}:{component.package_mb}".encode()
+        )
+    for flow in app.flows:
+        hasher.update(
+            f"{flow.src}->{flow.dst}:{flow.bytes_fixed}:{flow.bytes_per_mb}".encode()
+        )
+    return hasher.hexdigest()[:12]
+
+
+def _revision_id(content_digest: str, parent: Optional[str], message: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update((parent or "root").encode())
+    hasher.update(message.encode())
+    hasher.update(content_digest.encode())
+    return hasher.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One immutable revision of the application."""
+
+    revision: str
+    app: AppGraph
+    message: str
+    parent: Optional[str]
+    content_digest: str = ""
+
+
+class SourceRepository:
+    """An append-only chain of application revisions."""
+
+    def __init__(self, name: str, initial: AppGraph, message: str = "initial") -> None:
+        self.name = name
+        self._commits: Dict[str, Commit] = {}
+        self._order: List[str] = []
+        self.commit(initial, message)
+
+    def commit(self, app: AppGraph, message: str) -> Commit:
+        """Record a new revision and return it.
+
+        Committing content identical to the current head is a no-op
+        ("nothing to commit"): the head is returned unchanged.
+        """
+        digest = _content_digest(app)
+        if self._order:
+            head = self._commits[self._order[-1]]
+            if head.content_digest == digest:
+                return head
+        parent = self._order[-1] if self._order else None
+        revision = _revision_id(digest, parent, message)
+        record = Commit(
+            revision=revision,
+            app=app,
+            message=message,
+            parent=parent,
+            content_digest=digest,
+        )
+        self._commits[revision] = record
+        self._order.append(revision)
+        return record
+
+    @property
+    def head(self) -> Commit:
+        """The most recent commit."""
+        return self._commits[self._order[-1]]
+
+    def checkout(self, revision: str) -> Commit:
+        """Fetch a specific revision."""
+        if revision not in self._commits:
+            raise KeyError(f"unknown revision {revision!r} in repo {self.name!r}")
+        return self._commits[revision]
+
+    def log(self) -> List[Commit]:
+        """All commits, oldest first."""
+        return [self._commits[r] for r in self._order]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+__all__ = ["Commit", "SourceRepository"]

@@ -1,0 +1,331 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing code::
+
+    python -m repro list-apps
+    python -m repro plan --app photo_backup --connectivity 4g --input-mb 4
+    python -m repro run  --app ml_training --jobs 5 --slack 3600 \\
+                         --scheduler batcher --window 600
+    python -m repro pipeline --app nightly_analytics
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional, Sequence
+
+from repro.apps.catalog import CATALOG
+from repro.core.controller import Environment, OffloadController
+from repro.core.partitioning import ObjectiveWeights
+from repro.core.scheduler import (
+    CostWindowScheduler,
+    DeadlineBatcher,
+    EagerScheduler,
+    EdfScheduler,
+    Scheduler,
+)
+from repro.apps.jobs import Job
+from repro.metrics import Table
+from repro.network.profiles import CONNECTIVITY_PROFILES
+
+
+def _resolve_app(name: str):
+    if name not in CATALOG:
+        raise SystemExit(
+            f"unknown app {name!r}; choose from {sorted(CATALOG)}"
+        )
+    return CATALOG[name]()
+
+
+def _resolve_weights(preset: str) -> ObjectiveWeights:
+    presets = {
+        "balanced": ObjectiveWeights(),
+        "interactive": ObjectiveWeights.interactive(),
+        "non-time-critical": ObjectiveWeights.non_time_critical(),
+    }
+    if preset not in presets:
+        raise SystemExit(
+            f"unknown weights preset {preset!r}; choose from {sorted(presets)}"
+        )
+    return presets[preset]
+
+
+def _resolve_scheduler(name: str, window_s: float) -> Scheduler:
+    if name == "eager":
+        return EagerScheduler()
+    if name == "edf":
+        return EdfScheduler()
+    if name == "batcher":
+        return DeadlineBatcher(window_s=window_s)
+    if name == "costwindow":
+        # A generic diurnal congestion price anchored at t=0.
+        price = lambda t: 1.0 + 0.8 * math.sin(2 * math.pi * t / 86_400.0)
+        return CostWindowScheduler(price, resolution_s=max(window_s, 60.0))
+    raise SystemExit(
+        f"unknown scheduler {name!r}; choose from "
+        "['eager', 'edf', 'batcher', 'costwindow']"
+    )
+
+
+def cmd_list_apps(_args: argparse.Namespace) -> int:
+    table = Table(
+        ["app", "components", "flows", "pinned", "total work @1MB (gcycles)"],
+        title="Catalog applications",
+        precision=1,
+    )
+    for name, factory in sorted(CATALOG.items()):
+        app = factory()
+        table.add_row(
+            name, len(app), len(app.flows), len(app.pinned_names()),
+            app.total_work(1.0),
+        )
+    print(table)
+    return 0
+
+
+def cmd_list_profiles(_args: argparse.Namespace) -> int:
+    table = Table(
+        ["profile", "uplink Mbit/s", "downlink Mbit/s", "access ms", "WAN ms"],
+        title="Connectivity presets",
+        precision=1,
+    )
+    for name, profile in sorted(CONNECTIVITY_PROFILES.items()):
+        table.add_row(
+            name,
+            profile.uplink_bps * 8 / 1e6,
+            profile.downlink_bps * 8 / 1e6,
+            profile.access_latency_s * 1000,
+            profile.wan_latency_s * 1000,
+        )
+    print(table)
+    return 0
+
+
+def _build_controller(args: argparse.Namespace) -> OffloadController:
+    env = Environment.build(
+        seed=args.seed,
+        connectivity=args.connectivity,
+        with_storage=getattr(args, "with_storage", False),
+    )
+    controller = OffloadController(
+        env,
+        _resolve_app(args.app),
+        scheduler=_resolve_scheduler(
+            getattr(args, "scheduler", "eager"), getattr(args, "window", 300.0)
+        ),
+        weights=_resolve_weights(args.weights),
+    )
+    controller.profile_offline()
+    controller.plan(input_mb=args.input_mb)
+    return controller
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    controller = _build_controller(args)
+    partition = controller.partition
+    assert partition is not None
+    print(f"app: {args.app}   connectivity: {args.connectivity}   "
+          f"input: {args.input_mb} MB   weights: {args.weights}")
+    print(f"cloud components: {sorted(partition.cloud) or '(none)'}")
+    local = [
+        n for n in controller.app.component_names if not partition.is_cloud(n)
+    ]
+    print(f"local components: {local}")
+    if controller.allocation:
+        table = Table(
+            ["function", "memory MB", "expected s", "expected $/invocation"],
+            title="Memory allocation",
+            precision=3,
+        )
+        for name, decision in sorted(controller.allocation.items()):
+            table.add_row(
+                name, decision.memory_mb, decision.expected_duration_s,
+                decision.expected_cost_usd,
+            )
+        print(table)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    controller = _build_controller(args)
+    if args.workload:
+        from repro.traces.replay import load_workload
+
+        jobs = load_workload(
+            args.workload, lambda name: _resolve_app(name)
+        )
+        jobs = [job for job in jobs if job.app.name == args.app]
+        if not jobs:
+            raise SystemExit(
+                f"trace {args.workload!r} has no jobs for app {args.app!r}"
+            )
+        # Rebind to the controller's graph instance.
+        jobs = [
+            Job(controller.app, input_mb=j.input_mb,
+                released_at=j.released_at, deadline=j.deadline)
+            for j in jobs
+        ]
+    else:
+        jobs = [
+            Job(
+                controller.app,
+                input_mb=args.input_mb,
+                released_at=args.spacing * i,
+                deadline=args.spacing * i + args.slack,
+            )
+            for i in range(args.jobs)
+        ]
+    report = controller.run_workload(jobs)
+    if args.save_report:
+        from repro.traces.replay import save_report
+
+        save_report(args.save_report, report)
+        print(f"report written to {args.save_report}")
+    table = Table(["metric", "value"], title="Workload report", precision=3)
+    table.add_row("jobs completed", report.jobs_completed)
+    table.add_row("job failures", len(report.failures))
+    table.add_row("deadline miss %", 100 * report.deadline_miss_rate)
+    table.add_row("mean response s", report.mean_response_s)
+    table.add_row("p95 response s", report.percentile_response_s(95))
+    table.add_row("UE energy J", report.total_ue_energy_j)
+    table.add_row("cloud cost $", report.total_cloud_cost_usd)
+    table.add_row(
+        "cold-start %",
+        100 * controller.env.platform.cold_start_fraction(),
+    )
+    print(table)
+    return 0 if not report.failures else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import crossover_bandwidth, edge_breakeven_rate
+    from repro.apps.lint import lint_app
+
+    app = _resolve_app(args.app)
+    weights = _resolve_weights(args.weights)
+    print(f"Analysis of {args.app!r} at {args.input_mb} MB inputs "
+          f"({args.weights} weights)\n")
+
+    warnings = lint_app(app)
+    if warnings:
+        print("Lint findings:")
+        for warning in warnings:
+            print(f"  {warning}")
+    else:
+        print("Lint: clean.")
+
+    crossover = crossover_bandwidth(app, input_mb=args.input_mb, weights=weights)
+    if crossover is None:
+        print("Offload crossover: none in 1 kB/s – 1 GB/s "
+              "(one placement dominates everywhere).")
+    else:
+        print(f"Offload crossover: {crossover * 8 / 1e6:.2f} Mbit/s uplink — "
+              "below this, keep it local; above, offload wins.")
+
+    breakeven = edge_breakeven_rate(app, input_mb=args.input_mb)
+    if math.isinf(breakeven):
+        print("Edge breakeven: never (no offloadable work).")
+    else:
+        print(f"Edge breakeven: {breakeven:.1f} jobs/hour — below this "
+              "rate a provisioned edge node costs more per job than "
+              "serverless.")
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.cicd import SourceRepository
+    from repro.core.pipeline import OffloadPipeline, PipelineConfig
+
+    env = Environment.build(seed=args.seed, connectivity=args.connectivity)
+    app = _resolve_app(args.app)
+    repo = SourceRepository(args.app, app)
+    pipeline = OffloadPipeline(
+        env,
+        repo,
+        weights=_resolve_weights(args.weights),
+        config=PipelineConfig(canary_jobs=args.canary_jobs),
+    )
+    run = pipeline.run_to_completion()
+    print(f"revision {run.revision}: "
+          f"{'PROMOTED' if run.promoted else 'ABANDONED'}")
+    table = Table(["stage", "duration s", "detail"], precision=1)
+    for stage in run.stages:
+        table.add_row(stage.name, stage.duration_s, stage.detail[:60])
+    print(table)
+    return 0 if run.promoted else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serverless offloading for non-time-critical applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="show the catalog applications")
+    sub.add_parser("list-profiles", help="show connectivity presets")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--app", required=True, help="catalog app name")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--connectivity", default="4g",
+                       choices=sorted(CONNECTIVITY_PROFILES))
+        p.add_argument("--input-mb", type=float, default=4.0)
+        p.add_argument("--weights", default="non-time-critical",
+                       help="balanced | interactive | non-time-critical")
+
+    plan = sub.add_parser("plan", help="compute partition + allocation")
+    common(plan)
+
+    run = sub.add_parser("run", help="run a workload end to end")
+    common(run)
+    run.add_argument("--jobs", type=int, default=5)
+    run.add_argument("--spacing", type=float, default=60.0,
+                     help="seconds between job releases")
+    run.add_argument("--slack", type=float, default=3600.0,
+                     help="seconds from release to deadline")
+    run.add_argument("--scheduler", default="eager",
+                     choices=["eager", "edf", "batcher", "costwindow"])
+    run.add_argument("--window", type=float, default=300.0,
+                     help="batcher window / costwindow resolution (s)")
+    run.add_argument("--with-storage", action="store_true",
+                     help="stage cut-edge data through an object store")
+    run.add_argument("--workload", default=None,
+                     help="JSON job trace to replay instead of synthesising")
+    run.add_argument("--save-report", default=None,
+                     help="write the run report to this JSON file")
+
+    pipeline = sub.add_parser("pipeline", help="run the CI/CD pipeline once")
+    common(pipeline)
+    pipeline.add_argument("--canary-jobs", type=int, default=3)
+
+    analyze = sub.add_parser(
+        "analyze", help="lint an app and compute its breakeven points"
+    )
+    common(analyze)
+
+    return parser
+
+
+COMMANDS = {
+    "analyze": cmd_analyze,
+    "list-apps": cmd_list_apps,
+    "list-profiles": cmd_list_profiles,
+    "plan": cmd_plan,
+    "run": cmd_run,
+    "pipeline": cmd_pipeline,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,704 @@
+"""The end-to-end offloading runtime.
+
+:class:`Environment` bundles the simulated world (UE, network paths,
+serverless platform); :class:`OffloadController` is the paper's framework
+running inside it:
+
+1. **profile** the application offline (C1) and keep learning online;
+2. **partition** the component graph between UE and cloud (C3);
+3. **allocate** memory for every cloud component (C2);
+4. **deploy** the resulting functions to the platform (C4 feeds this);
+5. **schedule** released jobs inside their slack (C5) and execute the
+   DAG — local components on UE cores, cloud components as serverless
+   invocations, cut edges as radio transfers.
+
+The controller optionally *adapts*: online observations update the demand
+model and the plan is recomputed every ``replan_every`` jobs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.apps.graph import AppGraph
+from repro.apps.jobs import Job, JobResult
+from repro.core.allocation import AllocationDecision, MemoryAllocator
+from repro.core.demand import DemandModel, RegressionEstimator
+from repro.core.partitioning import (
+    MinCutPartitioner,
+    ObjectiveWeights,
+    Partition,
+    PartitionContext,
+    Partitioner,
+    evaluate_partition,
+)
+from repro.core.scheduler import EagerScheduler, ScheduleDecision, Scheduler
+from repro.device.ue import DeviceSpec, UserEquipment
+from repro.metrics import MetricRegistry
+from repro.network.link import NetworkPath
+from repro.network.profiles import cloud_path, profile as connectivity_profile
+from repro.profiling.profiler import DemandObservation, Profiler
+from repro.serverless.function import FunctionSpec, InvocationRequest
+from repro.serverless.retry import RetryPolicy, invoke_with_retries
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.storage.objectstore import ObjectStore, StoragePricing
+from repro.sim import Event, Simulator
+from repro.sim.rng import RngStream, SeedSequenceRegistry
+
+
+class Environment:
+    """The simulated world one controller operates in."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ue: UserEquipment,
+        platform: ServerlessPlatform,
+        uplink: NetworkPath,
+        downlink: NetworkPath,
+        rng: SeedSequenceRegistry,
+        metrics: Optional[MetricRegistry] = None,
+        execution_noise_sigma: float = 0.05,
+        storage: Optional[ObjectStore] = None,
+    ) -> None:
+        self.sim = sim
+        self.ue = ue
+        self.platform = platform
+        self.uplink = uplink
+        self.downlink = downlink
+        self.rng = rng
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        if execution_noise_sigma < 0:
+            raise ValueError("noise sigma must be >= 0")
+        self.execution_noise_sigma = execution_noise_sigma
+        #: Optional object store staging cut-edge data; when present the
+        #: controller routes transfers through it and pays its prices.
+        self.storage = storage
+
+    @staticmethod
+    def build(
+        seed: int = 0,
+        connectivity: str = "4g",
+        device: Optional[DeviceSpec] = None,
+        platform_config: Optional[PlatformConfig] = None,
+        execution_noise_sigma: float = 0.05,
+        with_storage: bool = False,
+        storage_pricing: Optional[StoragePricing] = None,
+    ) -> "Environment":
+        """Assemble a standard environment from a connectivity preset.
+
+        ``with_storage=True`` adds an object store so cut-edge data is
+        staged through the cloud data plane (request latency, egress
+        pricing) instead of moving point to point.
+        """
+        sim = Simulator()
+        rng = SeedSequenceRegistry(seed)
+        metrics = MetricRegistry()
+        ue = UserEquipment(sim, device, metrics=metrics)
+        platform = ServerlessPlatform(
+            sim, platform_config, metrics=metrics, rng=rng.stream("platform")
+        )
+        prof = connectivity_profile(connectivity)
+        storage = None
+        if with_storage or storage_pricing is not None:
+            storage = ObjectStore(sim, storage_pricing, metrics=metrics)
+        return Environment(
+            sim=sim,
+            ue=ue,
+            platform=platform,
+            uplink=cloud_path(sim, prof, uplink=True, metrics=metrics),
+            downlink=cloud_path(sim, prof, uplink=False, metrics=metrics),
+            rng=rng,
+            metrics=metrics,
+            execution_noise_sigma=execution_noise_sigma,
+            storage=storage,
+        )
+
+    @staticmethod
+    def build_custom(
+        seed: int = 0,
+        uplink_bandwidth: "float | object" = 1.25e6,
+        downlink_bandwidth: "Optional[float | object]" = None,
+        access_latency_s: float = 0.025,
+        wan_latency_s: float = 0.040,
+        device: Optional[DeviceSpec] = None,
+        platform_config: Optional[PlatformConfig] = None,
+        execution_noise_sigma: float = 0.05,
+        with_storage: bool = False,
+        storage_pricing: Optional[StoragePricing] = None,
+    ) -> "Environment":
+        """Assemble an environment with explicit link characteristics.
+
+        ``uplink_bandwidth``/``downlink_bandwidth`` accept either a rate
+        in bytes/second or a :class:`~repro.traces.bandwidth.BandwidthTrace`
+        (e.g. a Markov good/bad channel), which is how time-varying
+        connectivity experiments are built.  The downlink defaults to 4x
+        the uplink when given as a number, or to the same trace object.
+        """
+        from repro.network.link import Link
+
+        sim = Simulator()
+        rng = SeedSequenceRegistry(seed)
+        metrics = MetricRegistry()
+        if downlink_bandwidth is None:
+            downlink_bandwidth = (
+                uplink_bandwidth * 4
+                if isinstance(uplink_bandwidth, (int, float))
+                else uplink_bandwidth
+            )
+
+        def path(bandwidth, direction: str) -> NetworkPath:
+            wan_rate = (
+                bandwidth * 4 if isinstance(bandwidth, (int, float)) else 1e9
+            )
+            access = Link(
+                sim,
+                bandwidth=bandwidth,
+                latency_s=access_latency_s,
+                per_request_overhead_bytes=1500.0,
+                name=f"custom.access.{direction}",
+                metrics=metrics,
+            )
+            wan = Link(
+                sim,
+                bandwidth=wan_rate,
+                latency_s=wan_latency_s,
+                name=f"custom.wan.{direction}",
+                metrics=metrics,
+            )
+            return NetworkPath(sim, [access, wan], name=f"custom.{direction}")
+
+        storage = None
+        if with_storage or storage_pricing is not None:
+            storage = ObjectStore(sim, storage_pricing, metrics=metrics)
+        return Environment(
+            sim=sim,
+            ue=UserEquipment(sim, device, metrics=metrics),
+            platform=ServerlessPlatform(
+                sim, platform_config, metrics=metrics, rng=rng.stream("platform")
+            ),
+            uplink=path(uplink_bandwidth, "up"),
+            downlink=path(downlink_bandwidth, "down"),
+            rng=rng,
+            metrics=metrics,
+            execution_noise_sigma=execution_noise_sigma,
+            storage=storage,
+        )
+
+    def actual_work(self, nominal_gcycles: float, stream: RngStream) -> float:
+        """Perturb a nominal demand with run-to-run execution noise."""
+        if self.execution_noise_sigma <= 0 or nominal_gcycles <= 0:
+            return nominal_gcycles
+        return nominal_gcycles * stream.lognormal_bounded(
+            1.0, self.execution_noise_sigma, low=0.2, high=5.0
+        )
+
+
+class JobRejectedError(RuntimeError):
+    """Admission control refused a job whose deadline is unmeetable."""
+
+    def __init__(self, job: Job, estimate_s: float) -> None:
+        super().__init__(
+            f"job {job.job_id}: deadline {job.deadline:.1f} unmeetable "
+            f"(needs ~{estimate_s:.1f}s from release)"
+        )
+        self.job = job
+        self.estimate_s = estimate_s
+
+
+@dataclass
+class JobFailure:
+    """A job that did not complete."""
+
+    job: Job
+    failed_at: float
+    error: BaseException
+
+
+@dataclass
+class ControllerReport:
+    """Aggregate outcome of a workload run."""
+
+    results: List[JobResult] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
+
+    @property
+    def jobs_completed(self) -> int:
+        """Number of jobs that finished."""
+        return len(self.results)
+
+    @property
+    def rejections(self) -> int:
+        """Jobs turned away by admission control."""
+        return sum(
+            1
+            for failure in self.failures
+            if isinstance(failure.error, JobRejectedError)
+        )
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed jobs that missed their deadline
+        (failures count as misses)."""
+        total = len(self.results) + len(self.failures)
+        if total == 0:
+            return 0.0
+        missed = sum(1 for r in self.results if not r.met_deadline)
+        return (missed + len(self.failures)) / total
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean release-to-completion time across completed jobs."""
+        if not self.results:
+            return math.nan
+        return sum(r.response_time for r in self.results) / len(self.results)
+
+    @property
+    def total_ue_energy_j(self) -> float:
+        """Total UE energy across completed jobs."""
+        return sum(r.ue_energy_j for r in self.results)
+
+    @property
+    def total_cloud_cost_usd(self) -> float:
+        """Total serverless bill across completed jobs."""
+        return sum(r.cloud_cost_usd for r in self.results)
+
+    def percentile_response_s(self, p: float) -> float:
+        """Exact percentile of response times (p in [0, 100])."""
+        if not self.results:
+            return math.nan
+        data = sorted(r.response_time for r in self.results)
+        position = (p / 100.0) * (len(data) - 1)
+        lower, upper = int(math.floor(position)), int(math.ceil(position))
+        if lower == upper:
+            return data[lower]
+        weight = position - lower
+        return data[lower] * (1 - weight) + data[upper] * weight
+
+
+class OffloadController:
+    """Runs one application under the paper's offloading framework."""
+
+    def __init__(
+        self,
+        env: Environment,
+        app: AppGraph,
+        partitioner: Optional[Partitioner] = None,
+        allocator: Optional[MemoryAllocator] = None,
+        scheduler: Optional[Scheduler] = None,
+        demand_model: Optional[DemandModel] = None,
+        weights: Optional[ObjectiveWeights] = None,
+        latency_slo_s: float = math.inf,
+        adaptive: bool = False,
+        replan_every: int = 20,
+        function_prefix: str = "",
+        retry_policy: Optional[RetryPolicy] = None,
+        dvfs: bool = False,
+        admission_control: bool = False,
+    ) -> None:
+        self.env = env
+        self.app = app
+        self.partitioner = partitioner or MinCutPartitioner()
+        self.allocator = allocator or MemoryAllocator(
+            billing=env.platform.config.billing
+        )
+        self.scheduler = scheduler or EagerScheduler()
+        self.demand = demand_model or DemandModel(app, RegressionEstimator)
+        self.weights = weights or ObjectiveWeights.non_time_critical()
+        self.latency_slo_s = latency_slo_s
+        self.adaptive = adaptive
+        if replan_every < 1:
+            raise ValueError("replan_every must be >= 1")
+        self.replan_every = replan_every
+        self.function_prefix = function_prefix
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=1.0, multiplier=2.0
+        )
+        #: When True, local components run at the lowest DVFS point that
+        #: still (predictably) meets the job's deadline — the classic
+        #: race-to-idle vs crawl-to-deadline trade, resolved toward
+        #: crawling because E ∝ f² while nobody is waiting.
+        self.dvfs = dvfs
+        #: When True, jobs whose deadline is predictably unmeetable are
+        #: rejected at submission instead of burning energy and dollars
+        #: on a guaranteed miss.
+        self.admission_control = admission_control
+
+        self.partition: Optional[Partition] = None
+        self.allocation: Dict[str, AllocationDecision] = {}
+        self._jobs_since_replan = 0
+        self._exec_rng = env.rng.stream(f"controller.{app.name}.exec")
+        self._planned_input_mb: float = 1.0
+
+    # -- planning --------------------------------------------------------
+
+    def profile_offline(
+        self,
+        input_sizes_mb: Tuple[float, ...] = (0.5, 1.0, 2.0, 5.0, 10.0),
+        repetitions: int = 3,
+        noise_sigma: float = 0.1,
+    ) -> None:
+        """Run the CI-style profiling sweep and train the demand model."""
+        profiler = Profiler(
+            self.env.rng.stream(f"profiler.{self.app.name}"), noise_sigma
+        )
+        observations = profiler.profile(self.app, input_sizes_mb, repetitions)
+        self.demand.observe_profile(observations)
+
+    def build_context(self, input_mb: float) -> PartitionContext:
+        """A planning context at the current network conditions."""
+        now = self.env.sim.now
+        work = {
+            name: self.demand.predict(name, input_mb)
+            for name in self.app.component_names
+        }
+        memory_plan = {
+            name: decision.memory_mb for name, decision in self.allocation.items()
+        }
+        return PartitionContext(
+            app=self.app,
+            input_mb=input_mb,
+            work=work,
+            ue_cycles_per_second=self.env.ue.spec.cycles_per_second,
+            energy=self.env.ue.spec.energy,
+            billing=self.env.platform.config.billing,
+            memory_plan=memory_plan,
+            uplink_bps=self.env.uplink.bottleneck_rate(now),
+            uplink_latency_s=self.env.uplink.total_latency_s,
+            downlink_bps=self.env.downlink.bottleneck_rate(now),
+            downlink_latency_s=self.env.downlink.total_latency_s,
+            egress_price_per_gb=(
+                self.env.storage.pricing.egress_price_per_gb
+                if self.env.storage is not None
+                else 0.0
+            ),
+            weights=self.weights,
+        )
+
+    def plan(self, input_mb: float = 1.0) -> Partition:
+        """Partition, allocate, and deploy for the expected input size.
+
+        Safe to call repeatedly: only functions whose memory changed are
+        redeployed (a redeploy recycles the warm pool, so needless churn
+        is avoided).
+        """
+        self._planned_input_mb = input_mb
+        # First pass at default memory, then refine: the partition decides
+        # *what* runs in the cloud, the allocation decides *at which size*,
+        # and sizes feed back into partition economics.
+        context = self.build_context(input_mb)
+        partition = self.partitioner.partition(context)
+        partition.validate(self.app)
+        allocation = self.allocator.allocate_app(
+            self.app, partition, self.demand, input_mb, self.latency_slo_s
+        )
+        self.allocation = allocation
+        context = self.build_context(input_mb)
+        partition = self.partitioner.partition(context)
+        partition.validate(self.app)
+        self.partition = partition
+        self.allocation = self.allocator.allocate_app(
+            self.app, partition, self.demand, input_mb, self.latency_slo_s
+        )
+        self._deploy()
+        return partition
+
+    def _function_name(self, component: str) -> str:
+        return f"{self.function_prefix}{self.app.name}.{component}"
+
+    def _deploy(self) -> None:
+        assert self.partition is not None
+        platform = self.env.platform
+        for component, decision in sorted(self.allocation.items()):
+            spec = self.app.component(component)
+            fn = FunctionSpec(
+                name=self._function_name(component),
+                memory_mb=decision.memory_mb,
+                package_mb=spec.package_mb,
+                parallel_fraction=spec.parallel_fraction,
+            )
+            if (
+                not platform.is_deployed(fn.name)
+                or platform.spec(fn.name) != fn
+            ):
+                platform.deploy(fn)
+
+    def estimate_completion(
+        self, job: Job, frequency_fraction: float = 1.0
+    ) -> float:
+        """Predicted response time once dispatched (for the scheduler).
+
+        Uses the DAG makespan of the current plan plus one cold start per
+        cloud component — conservative, which is what deadline math wants.
+        ``frequency_fraction`` scales the UE speed (DVFS planning).
+        """
+        from dataclasses import replace as _replace
+
+        if self.partition is None:
+            self.plan(job.input_mb)
+        assert self.partition is not None
+        context = self.build_context(job.input_mb)
+        if frequency_fraction != 1.0:
+            context = _replace(
+                context,
+                ue_cycles_per_second=(
+                    context.ue_cycles_per_second * frequency_fraction
+                ),
+            )
+        evaluation = evaluate_partition(context, self.partition)
+        cold_allowance = sum(
+            self.env.platform.config.cold_start_duration(
+                self.env.platform.spec(self._function_name(name))
+            )
+            for name in self.partition.cloud
+            if self.env.platform.is_deployed(self._function_name(name))
+        )
+        return evaluation.makespan_s + cold_allowance
+
+    def select_frequency(self, job: Job, now: float) -> float:
+        """Lowest DVFS point that still meets the deadline with the
+        scheduler's safety margin; 1.0 when DVFS is off.
+
+        With no deadline the lowest point wins outright — nobody is
+        waiting, and energy falls with f².
+        """
+        if not self.dvfs:
+            return 1.0
+        steps = sorted(self.env.ue.spec.frequency_steps)
+        if math.isinf(job.deadline):
+            return steps[0]
+        budget = job.deadline - now
+        safety = self.scheduler.safety_factor
+        for fraction in steps:
+            if safety * self.estimate_completion(job, fraction) <= budget:
+                return fraction
+        return 1.0
+
+    # -- execution ---------------------------------------------------------
+
+    def submit(self, job: Job) -> Event:
+        """Schedule and execute one job; process event yields JobResult."""
+        if job.app.name != self.app.name:
+            raise ValueError(
+                f"job for app {job.app.name!r} submitted to controller "
+                f"for {self.app.name!r}"
+            )
+        if self.partition is None:
+            self.plan(job.input_mb)
+        if self.admission_control and not math.isinf(job.deadline):
+            estimate = self.estimate_completion(job)
+            if self.env.sim.now + estimate > job.deadline:
+                rejected = self.env.sim.event()
+                rejected.fail(JobRejectedError(job, estimate))
+                return rejected
+        return self.env.sim.spawn(
+            self._job_proc(job), name=f"job{job.job_id}.{self.app.name}"
+        )
+
+    def _job_proc(self, job: Job) -> Generator[Event, Any, JobResult]:
+        sim = self.env.sim
+        estimate = self.estimate_completion(job)
+        decision = self.scheduler.decide(job, sim.now, estimate)
+        if decision.dispatch_at > sim.now:
+            yield sim.timeout(decision.dispatch_at - sim.now)
+        started = sim.now
+        frequency = self.select_frequency(job, sim.now)
+
+        assert self.partition is not None
+        partition = self.partition
+        app = self.app
+        energy_j = 0.0
+        energy_breakdown: Dict[str, float] = {}
+        cost_usd = 0.0
+        finish_times: Dict[str, float] = {}
+
+        def charge(kind: str, joules: float) -> None:
+            nonlocal energy_j
+            energy_j += joules
+            energy_breakdown[kind] = energy_breakdown.get(kind, 0.0) + joules
+
+        component_done: Dict[str, Event] = {
+            name: sim.event() for name in app.component_names
+        }
+        edge_done: Dict[Tuple[str, str], Event] = {}
+
+        observations: List[DemandObservation] = []
+
+        def component_proc(name: str) -> Generator[Event, Any, None]:
+            nonlocal cost_usd
+            incoming = [edge_done[(pred, name)] for pred in app.predecessors(name)]
+            if incoming:
+                yield sim.all_of(incoming)
+            nominal = job.component_work(name)
+            actual = self.env.actual_work(nominal, self._exec_rng)
+            if partition.is_cloud(name):
+                entered = sim.now
+                outcome = yield invoke_with_retries(
+                    self.env.platform,
+                    InvocationRequest(
+                        function=self._function_name(name),
+                        work_gcycles=actual,
+                        payload_bytes=0.0,
+                        tag=f"job{job.job_id}",
+                    ),
+                    policy=self.retry_policy,
+                    rng=self._exec_rng,
+                )
+                cost_usd += outcome.total_cost
+                # The UE idles for the whole cloud episode, retries included.
+                charge(
+                    "idle",
+                    self.env.ue.spec.energy.idle_energy(sim.now - entered),
+                )
+            else:
+                execution = yield self.env.ue.execute(
+                    actual, frequency_fraction=frequency
+                )
+                charge("compute", execution.energy_j)
+            observations.append(
+                DemandObservation(
+                    component=name,
+                    input_mb=job.input_mb,
+                    measured_gcycles=actual,
+                    at_time=sim.now,
+                )
+            )
+            finish_times[name] = sim.now
+            component_done[name].succeed(None)
+
+        def edge_proc(src: str, dst: str) -> Generator[Event, Any, None]:
+            nonlocal cost_usd
+            yield component_done[src]
+            src_cloud = partition.is_cloud(src)
+            dst_cloud = partition.is_cloud(dst)
+            store = self.env.storage
+            nbytes = job.flow_bytes(src, dst)
+            key = f"job{job.job_id}/{src}->{dst}"
+            if not src_cloud and dst_cloud:
+                # UE uploads; with a store the payload is staged there.
+                result = yield self.env.ue.transmit(nbytes, self.env.uplink)
+                charge(
+                    "tx",
+                    self.env.ue.spec.energy.transmit_energy(
+                        result.radio_seconds
+                    ),
+                )
+                if store is not None:
+                    yield store.put(key, nbytes)
+                    cost_usd += store.pricing.price_per_put
+                    store.delete(key)  # consumed by the dst function
+            elif src_cloud and not dst_cloud:
+                if store is not None:
+                    # The cloud function writes its result, the UE reads it
+                    # out — paying the egress rate.
+                    yield store.put(key, nbytes)
+                    yield store.get(key, external=True)
+                    cost_usd += (
+                        store.pricing.price_per_put
+                        + store.pricing.price_per_get
+                        + store.pricing.transfer_cost(nbytes, external=True)
+                    )
+                    store.delete(key)
+                result = yield self.env.ue.receive(nbytes, self.env.downlink)
+                charge(
+                    "rx",
+                    self.env.ue.spec.energy.receive_energy(
+                        result.radio_seconds
+                    ),
+                )
+            elif src_cloud and dst_cloud and store is not None:
+                # Intra-cloud handoff through the store: request latency
+                # and fees, no radio involvement.
+                yield store.put(key, nbytes)
+                yield store.get(key, external=False)
+                cost_usd += (
+                    store.pricing.price_per_put
+                    + store.pricing.price_per_get
+                    + store.pricing.transfer_cost(nbytes, external=False)
+                )
+                store.delete(key)
+            edge_done[(src, dst)].succeed(None)
+
+        processes = []
+        for flow in app.flows:
+            edge_done[(flow.src, flow.dst)] = sim.event()
+        for flow in app.flows:
+            processes.append(
+                sim.spawn(edge_proc(flow.src, flow.dst), name=f"edge.{flow.src}->{flow.dst}")
+            )
+        for name in app.component_names:
+            processes.append(sim.spawn(component_proc(name), name=f"comp.{name}"))
+        yield sim.all_of(processes)
+
+        for observation in observations:
+            self.demand.observe(observation)
+        self._maybe_replan(job)
+
+        result = JobResult(
+            job=job,
+            started_at=started,
+            finished_at=sim.now,
+            ue_energy_j=energy_j,
+            cloud_cost_usd=cost_usd,
+            component_finish_times=finish_times,
+            energy_breakdown=energy_breakdown,
+        )
+        metrics = self.env.metrics
+        metrics.summary(f"{app.name}.response_s").observe(result.response_time)
+        metrics.counter(f"{app.name}.jobs").increment()
+        if not result.met_deadline:
+            metrics.counter(f"{app.name}.deadline_misses").increment()
+        return result
+
+    def _maybe_replan(self, job: Job) -> None:
+        if not self.adaptive:
+            return
+        self._jobs_since_replan += 1
+        if self._jobs_since_replan >= self.replan_every:
+            self._jobs_since_replan = 0
+            self.plan(job.input_mb)
+
+    # -- workload driver ----------------------------------------------------
+
+    def run_workload(
+        self,
+        jobs: List[Job],
+        until: Optional[float] = None,
+    ) -> ControllerReport:
+        """Release each job at its ``released_at`` and run to completion."""
+        report = ControllerReport()
+        sim = self.env.sim
+
+        def release(job: Job) -> Generator[Event, Any, None]:
+            if job.released_at > sim.now:
+                yield sim.timeout(job.released_at - sim.now)
+            process = self.submit(job)
+            try:
+                result = yield process
+            except BaseException as error:  # noqa: BLE001 - record, don't crash
+                report.failures.append(
+                    JobFailure(job=job, failed_at=sim.now, error=error)
+                )
+            else:
+                report.results.append(result)
+
+        drivers = [
+            sim.spawn(release(job), name=f"release.job{job.job_id}") for job in jobs
+        ]
+        if until is not None:
+            sim.run(until=until)
+        else:
+            sim.run(until=sim.all_of(drivers))
+        report.results.sort(key=lambda r: r.finished_at)
+        return report
+
+
+__all__ = [
+    "ControllerReport",
+    "Environment",
+    "JobFailure",
+    "JobRejectedError",
+    "OffloadController",
+]

@@ -1,0 +1,372 @@
+"""CI/CD integration of offloading (contribution C4).
+
+:class:`OffloadPipeline` runs the full modern deployment flow with the
+offloading decisions embedded as first-class pipeline stages::
+
+    checkout → build → test → profile → partition → allocate
+             → deploy-canary → canary-run → promote | abandon
+
+Profiling happens in CI (fresh demand model per revision), the partition
+and allocation are computed from those measurements, the plan is deployed
+into a *canary* namespace, a small canary workload is driven through it,
+and promotion to production is gated on the canary's cost/latency not
+regressing beyond a threshold against the last promoted revision —
+catching demand regressions (benchmark T4 injects one) before users see
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.apps.graph import AppGraph
+from repro.apps.jobs import Job
+from repro.cicd.artifacts import Artifact, ArtifactRegistry
+from repro.cicd.build import BuildSystem
+from repro.cicd.deploy import DeploymentTarget
+from repro.cicd.repo import Commit, SourceRepository
+from repro.core.allocation import AllocationDecision, MemoryAllocator
+from repro.core.controller import Environment, OffloadController
+from repro.core.demand import DemandModel, RegressionEstimator
+from repro.core.partitioning import (
+    FixedPartitioner,
+    MinCutPartitioner,
+    ObjectiveWeights,
+    Partition,
+    Partitioner,
+)
+from repro.core.scheduler import EagerScheduler
+from repro.sim import Event
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Outcome of one pipeline stage."""
+
+    name: str
+    started_at: float
+    finished_at: float
+    ok: bool
+    detail: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock seconds the stage took."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class PipelineRun:
+    """The record of one pipeline execution."""
+
+    revision: str
+    stages: List[StageResult] = field(default_factory=list)
+    promoted: bool = False
+    partition: Optional[Partition] = None
+    allocation: Dict[str, AllocationDecision] = field(default_factory=dict)
+    canary_mean_response_s: float = math.nan
+    canary_mean_cost_usd: float = math.nan
+
+    @property
+    def ok(self) -> bool:
+        """True when every stage succeeded (promotion may still be withheld)."""
+        return all(stage.ok for stage in self.stages)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Sum of stage durations."""
+        return sum(stage.duration_s for stage in self.stages)
+
+    def stage(self, name: str) -> StageResult:
+        """Look up one stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage {name!r} in run {self.revision}")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline behaviour knobs."""
+
+    profile_input_sizes_mb: Tuple[float, ...] = (0.5, 1.0, 2.0, 5.0)
+    profile_repetitions: int = 3
+    profile_noise_sigma: float = 0.1
+    test_fixed_s: float = 60.0
+    test_per_component_s: float = 10.0
+    canary_jobs: int = 5
+    canary_input_mb: float = 2.0
+    canary_slack_s: float = 3600.0
+    regression_threshold: float = 0.25
+    planning_input_mb: float = 2.0
+    latency_slo_s: float = math.inf
+    offload_stages_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.canary_jobs < 1:
+            raise ValueError("canary_jobs must be >= 1")
+        if self.regression_threshold < 0:
+            raise ValueError("regression threshold must be >= 0")
+
+
+class OffloadPipeline:
+    """The deployment pipeline with embedded offloading stages.
+
+    ``offload_stages_enabled=False`` degenerates to the conventional
+    build→test→deploy-everything-local flow, which benchmark T4 uses as
+    the overhead baseline.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        repo: SourceRepository,
+        registry: Optional[ArtifactRegistry] = None,
+        builder: Optional[BuildSystem] = None,
+        canary_target: Optional[DeploymentTarget] = None,
+        partitioner: Optional[Partitioner] = None,
+        allocator: Optional[MemoryAllocator] = None,
+        weights: Optional[ObjectiveWeights] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.env = env
+        self.repo = repo
+        self.registry = registry if registry is not None else ArtifactRegistry()
+        self.builder = builder or BuildSystem(env.sim, self.registry)
+        self.canary_target = canary_target or DeploymentTarget(
+            env.sim, env.platform, namespace="canary."
+        )
+        self.partitioner = partitioner or MinCutPartitioner()
+        self.allocator = allocator or MemoryAllocator(
+            billing=env.platform.config.billing
+        )
+        self.weights = weights or ObjectiveWeights.non_time_critical()
+        self.config = config or PipelineConfig()
+
+        #: metrics of the last promoted revision, the regression baseline
+        self.production_baseline: Optional[Dict[str, float]] = None
+        self.production_revision: Optional[str] = None
+        self.runs: List[PipelineRun] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, revision: Optional[str] = None) -> Event:
+        """Execute the pipeline for ``revision`` (default: repo head).
+
+        Returns a process event whose value is the :class:`PipelineRun`.
+        """
+        commit = (
+            self.repo.head if revision is None else self.repo.checkout(revision)
+        )
+        return self.env.sim.spawn(
+            self._run_proc(commit), name=f"pipeline.{commit.revision}"
+        )
+
+    def run_to_completion(self, revision: Optional[str] = None) -> PipelineRun:
+        """Run the pipeline and drive the simulator until it finishes."""
+        process = self.run(revision)
+        return self.env.sim.run(until=process)
+
+    # -- stages -----------------------------------------------------------
+
+    def _run_proc(self, commit: Commit) -> Generator[Event, Any, PipelineRun]:
+        sim = self.env.sim
+        run = PipelineRun(revision=commit.revision)
+        app = commit.app
+
+        started = sim.now
+        run.stages.append(
+            StageResult("checkout", started, sim.now, True, commit.message)
+        )
+
+        started = sim.now
+        artifacts: List[Artifact] = yield self.builder.build(commit)
+        run.stages.append(
+            StageResult("build", started, sim.now, True, f"{len(artifacts)} artifacts")
+        )
+
+        started = sim.now
+        yield sim.timeout(
+            self.config.test_fixed_s + self.config.test_per_component_s * len(app)
+        )
+        run.stages.append(StageResult("test", started, sim.now, True))
+
+        if not self.config.offload_stages_enabled:
+            run.promoted = True
+            self.production_revision = commit.revision
+            self.runs.append(run)
+            return run
+
+        # -- profile (C1): CI measures demands for this revision.
+        started = sim.now
+        demand = DemandModel(app, RegressionEstimator)
+        profile_seconds = self._profile(app, demand)
+        yield sim.timeout(profile_seconds)
+        run.stages.append(
+            StageResult(
+                "profile",
+                started,
+                sim.now,
+                True,
+                f"{len(self.config.profile_input_sizes_mb)} sizes × "
+                f"{self.config.profile_repetitions} reps",
+            )
+        )
+
+        # -- partition (C3).
+        started = sim.now
+        controller = OffloadController(
+            env=self.env,
+            app=app,
+            partitioner=self.partitioner,
+            allocator=self.allocator,
+            scheduler=EagerScheduler(),
+            demand_model=demand,
+            weights=self.weights,
+            latency_slo_s=self.config.latency_slo_s,
+            function_prefix=self.canary_target.namespace,
+        )
+        context = controller.build_context(self.config.planning_input_mb)
+        partition = self.partitioner.partition(context)
+        run.partition = partition
+        run.stages.append(
+            StageResult(
+                "partition",
+                started,
+                sim.now,
+                True,
+                f"cloud={sorted(partition.cloud)}",
+            )
+        )
+
+        # -- allocate (C2).
+        started = sim.now
+        allocation = self.allocator.allocate_app(
+            app,
+            partition,
+            demand,
+            self.config.planning_input_mb,
+            self.config.latency_slo_s,
+        )
+        run.allocation = allocation
+        run.stages.append(
+            StageResult(
+                "allocate",
+                started,
+                sim.now,
+                True,
+                ", ".join(
+                    f"{name}={decision.memory_mb:.0f}MB"
+                    for name, decision in sorted(allocation.items())
+                ),
+            )
+        )
+
+        # -- deploy the canary namespace.
+        started = sim.now
+        memory_plan = {n: d.memory_mb for n, d in allocation.items()}
+        fractions = {
+            c.name: c.parallel_fraction for c in app.components
+        }
+        yield self.canary_target.deploy_revision(
+            commit.revision, artifacts, memory_plan, fractions
+        )
+        run.stages.append(
+            StageResult(
+                "deploy-canary", started, sim.now, True, f"{len(memory_plan)} functions"
+            )
+        )
+
+        # -- canary run.
+        started = sim.now
+        controller.partition = partition
+        controller.allocation = allocation
+        jobs = [
+            Job(
+                app=app,
+                input_mb=self.config.canary_input_mb,
+                released_at=sim.now,
+                deadline=sim.now + self.config.canary_slack_s,
+            )
+            for _ in range(self.config.canary_jobs)
+        ]
+        outcomes = []
+        for job in jobs:  # sequential: canaries measure, not load-test
+            outcome = yield controller.submit(job)
+            outcomes.append(outcome)
+        mean_response = sum(o.response_time for o in outcomes) / len(outcomes)
+        mean_cost = sum(o.cloud_cost_usd for o in outcomes) / len(outcomes)
+        run.canary_mean_response_s = mean_response
+        run.canary_mean_cost_usd = mean_cost
+        run.stages.append(
+            StageResult(
+                "canary",
+                started,
+                sim.now,
+                True,
+                f"response={mean_response:.2f}s cost=${mean_cost:.2e}",
+            )
+        )
+
+        # -- gate: promote or abandon.
+        started = sim.now
+        regressed, detail = self._check_regression(mean_response, mean_cost)
+        if regressed:
+            run.promoted = False
+            run.stages.append(StageResult("abandon", started, sim.now, True, detail))
+        else:
+            run.promoted = True
+            self.production_baseline = {
+                "mean_response_s": mean_response,
+                "mean_cost_usd": mean_cost,
+            }
+            self.production_revision = commit.revision
+            run.stages.append(StageResult("promote", started, sim.now, True, detail))
+
+        self.runs.append(run)
+        return run
+
+    def _profile(self, app: AppGraph, demand: DemandModel) -> float:
+        """Train the demand model; return the simulated profiling time."""
+        from repro.profiling.profiler import Profiler
+
+        profiler = Profiler(
+            self.env.rng.stream(f"pipeline.profiler.{app.name}"),
+            self.config.profile_noise_sigma,
+        )
+        observations = profiler.profile(
+            app,
+            self.config.profile_input_sizes_mb,
+            self.config.profile_repetitions,
+        )
+        demand.observe_profile(observations)
+        # Each measured execution costs its single-core reference runtime
+        # on the CI worker (2.4 GHz class).
+        seconds = 0.0
+        for rows in observations.values():
+            for observation in rows:
+                seconds += observation.measured_gcycles * 1e9 / 2.4e9
+        return seconds
+
+    def _check_regression(
+        self, mean_response: float, mean_cost: float
+    ) -> Tuple[bool, str]:
+        if self.production_baseline is None:
+            return False, "first promotion (no baseline)"
+        threshold = self.config.regression_threshold
+        base_response = self.production_baseline["mean_response_s"]
+        base_cost = self.production_baseline["mean_cost_usd"]
+        response_reg = (
+            (mean_response - base_response) / base_response if base_response > 0 else 0.0
+        )
+        cost_reg = (mean_cost - base_cost) / base_cost if base_cost > 0 else 0.0
+        detail = (
+            f"Δresponse={response_reg:+.1%} Δcost={cost_reg:+.1%} "
+            f"(threshold {threshold:.0%})"
+        )
+        return (response_reg > threshold or cost_reg > threshold), detail
+
+
+__all__ = ["OffloadPipeline", "PipelineConfig", "PipelineRun", "StageResult"]

@@ -1,0 +1,64 @@
+"""UE energy model.
+
+Power figures follow the measurements used throughout the offloading
+literature (MAUI, Cuckoo, ThinkAir): computing costs roughly 0.9 W on a
+phone-class SoC, radio transmission 1.3 W, reception 1.0 W, idle ~25 mW.
+Energy is simply power × time for each activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Average power draw (watts) per UE activity.
+
+    ``idle_w`` is awake-idle (screen off, radio attached, coordinating);
+    ``deep_sleep_w`` is suspend-to-RAM with wake-on-push — the state a
+    device can enter while a *cloud-side workflow* runs the offloaded
+    part without it.
+    """
+
+    compute_w: float = 0.9
+    transmit_w: float = 1.3
+    receive_w: float = 1.0
+    idle_w: float = 0.025
+    deep_sleep_w: float = 0.003
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "compute_w", "transmit_w", "receive_w", "idle_w", "deep_sleep_w"
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    def compute_energy(self, seconds: float) -> float:
+        """Joules spent computing for ``seconds``."""
+        return self._energy(self.compute_w, seconds)
+
+    def transmit_energy(self, seconds: float) -> float:
+        """Joules spent with the radio transmitting for ``seconds``."""
+        return self._energy(self.transmit_w, seconds)
+
+    def receive_energy(self, seconds: float) -> float:
+        """Joules spent with the radio receiving for ``seconds``."""
+        return self._energy(self.receive_w, seconds)
+
+    def idle_energy(self, seconds: float) -> float:
+        """Joules spent idle for ``seconds``."""
+        return self._energy(self.idle_w, seconds)
+
+    def deep_sleep_energy(self, seconds: float) -> float:
+        """Joules spent in deep sleep for ``seconds``."""
+        return self._energy(self.deep_sleep_w, seconds)
+
+    @staticmethod
+    def _energy(power_w: float, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"duration must be >= 0, got {seconds}")
+        return power_w * seconds
+
+
+__all__ = ["EnergyModel"]

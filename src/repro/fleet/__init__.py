@@ -1,0 +1,14 @@
+"""Fleet simulation: many devices offloading onto one serverless platform.
+
+The serverless pitch is strongest at fleet scale: a thousand phones each
+running a nightly job share one pool of functions, so one user's
+invocation keeps the sandboxes warm for the next — density replaces
+provisioning.  :class:`FleetEnvironment` builds N devices (optionally on
+mixed connectivity) over a *shared* simulator and platform;
+:class:`FleetController` plans once per device and drives the combined
+workload, reporting per-device and aggregate outcomes.
+"""
+
+from repro.fleet.fleet import FleetController, FleetEnvironment, FleetReport
+
+__all__ = ["FleetController", "FleetEnvironment", "FleetReport"]

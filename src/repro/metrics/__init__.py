@@ -1,0 +1,38 @@
+"""Metric collection and reporting.
+
+Simulators and policies record observations into a :class:`MetricRegistry`;
+the benchmark harness turns registries into the tables printed for each
+experiment.  The primitives are deliberately simple and dependency-free:
+
+* :class:`Counter` — monotonically increasing totals;
+* :class:`Gauge` — last-written values;
+* :class:`Summary` — streaming mean/min/max/stddev plus exact quantiles
+  (observations are retained; simulations here are small enough);
+* :class:`TimeWeightedAverage` — averages weighted by how long a value held
+  (queue lengths, battery levels);
+* :class:`MetricRegistry` — a namespace of the above;
+* :func:`render_table` / :class:`Table` — fixed-width table formatting used
+  by every benchmark to print paper-style rows.
+"""
+
+from repro.metrics.collectors import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    Summary,
+    TimeWeightedAverage,
+)
+from repro.metrics.charts import ascii_bars, ascii_line
+from repro.metrics.tables import Table, render_table
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "Summary",
+    "Table",
+    "TimeWeightedAverage",
+    "ascii_bars",
+    "ascii_line",
+    "render_table",
+]

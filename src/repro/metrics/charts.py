@@ -1,0 +1,122 @@
+"""Terminal-friendly ASCII charts.
+
+The benchmark harness prints tables; sometimes a shape (a crossover, a
+collapse) reads better as a picture.  These charts render in any
+terminal and diff cleanly in version control.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, one row per (label, value).
+
+    Bars scale to the maximum value; zero/negative values render as
+    empty bars with their numeric value still shown.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("at least one bar is required")
+    if width < 4:
+        raise ValueError("width must be >= 4")
+
+    peak = max(max(values), 0.0)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if peak > 0 and value > 0:
+            filled = value / peak * width
+            bar = _BAR * int(filled)
+            if filled - int(filled) >= 0.5:
+                bar += _HALF
+        else:
+            bar = ""
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar.ljust(width)} "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_line(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+    log_x: bool = False,
+) -> str:
+    """A scatter/line chart on a character grid.
+
+    Points are bucketed onto a ``width``x``height`` grid; the y-axis is
+    labelled with min/max.  ``log_x=True`` spaces the x-axis
+    logarithmically (bandwidth sweeps span decades).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("at least two points are required")
+    if width < 8 or height < 3:
+        raise ValueError("grid too small")
+    if log_x and any(x <= 0 for x in xs):
+        raise ValueError("log_x requires positive x values")
+
+    def x_position(x: float) -> float:
+        if log_x:
+            lo, hi = math.log(min(xs)), math.log(max(xs))
+            x = math.log(x)
+        else:
+            lo, hi = min(xs), max(xs)
+        if hi == lo:
+            return 0.0
+        return (x - lo) / (hi - lo)
+
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(int(x_position(x) * (width - 1)), width - 1)
+        if y_hi == y_lo:
+            row = height - 1
+        else:
+            row = min(
+                int((1 - (y - y_lo) / (y_hi - y_lo)) * (height - 1)),
+                height - 1,
+            )
+        grid[row][col] = "•"
+
+    label_hi = f"{y_hi:g}"
+    label_lo = f"{y_lo:g}"
+    gutter = max(len(label_hi), len(label_lo))
+    lines = [title] if title else []
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = label_hi.rjust(gutter)
+        elif index == height - 1:
+            label = label_lo.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f"  {min(xs):g}"
+        + " " * max(width - len(f"{min(xs):g}") - len(f"{max(xs):g}") - 2, 1)
+        + f"{max(xs):g}"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_bars", "ascii_line"]

@@ -1,0 +1,260 @@
+"""Metric collector primitives."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self._value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Gauge:
+    """A last-written value."""
+
+    def __init__(self, name: str, initial: float = 0.0) -> None:
+        self.name = name
+        self._value = float(initial)
+
+    @property
+    def value(self) -> float:
+        """Most recently set value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        self._value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Gauge {self.name}={self._value}>"
+
+
+class Summary:
+    """Streaming distribution summary with exact quantiles.
+
+    All observations are retained (runs here are at most a few hundred
+    thousand samples), so quantiles are exact rather than sketched.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._samples.append(value)
+        self._sorted = None
+        self._sum += value
+        self._sum_sq += value * value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean; ``nan`` when empty."""
+        return self._sum / len(self._samples) if self._samples else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation; ``nan`` when empty."""
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation; ``nan`` when empty."""
+        return max(self._samples) if self._samples else math.nan
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation; ``nan`` when empty."""
+        n = len(self._samples)
+        if n == 0:
+            return math.nan
+        mean = self._sum / n
+        variance = max(self._sum_sq / n - mean * mean, 0.0)
+        return math.sqrt(variance)
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile via linear interpolation; ``nan`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return math.nan
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        position = q * (len(data) - 1)
+        lower = int(math.floor(position))
+        upper = int(math.ceil(position))
+        if lower == upper:
+            return data[lower]
+        weight = position - lower
+        return data[lower] * (1 - weight) + data[upper] * weight
+
+    def percentile(self, p: float) -> float:
+        """``p``-th percentile (``p`` in ``[0, 100]``)."""
+        return self.quantile(p / 100.0)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of all recorded observations."""
+        return list(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Summary {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeWeightedAverage:
+    """Average of a piecewise-constant signal, weighted by holding time.
+
+    Used for queue lengths, battery level, instance-pool occupancy: call
+    :meth:`update` whenever the value changes, passing the simulation time.
+    """
+
+    def __init__(self, name: str, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self.name = name
+        self._value = float(initial)
+        self._last_time = float(start_time)
+        self._weighted_sum = 0.0
+        self._elapsed = 0.0
+
+    @property
+    def current(self) -> float:
+        """The value currently held."""
+        return self._value
+
+    def update(self, now: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards in {self.name!r}: {now} < {self._last_time}"
+            )
+        span = now - self._last_time
+        self._weighted_sum += self._value * span
+        self._elapsed += span
+        self._value = float(value)
+        self._last_time = now
+
+    def average(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean up to ``now`` (defaults to last update)."""
+        weighted = self._weighted_sum
+        elapsed = self._elapsed
+        if now is not None:
+            if now < self._last_time:
+                raise ValueError("now precedes the last recorded update")
+            span = now - self._last_time
+            weighted += self._value * span
+            elapsed += span
+        return weighted / elapsed if elapsed > 0 else self._value
+
+
+class MetricRegistry:
+    """A flat namespace of metrics, keyed by dotted names."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._summaries: Dict[str, Summary] = {}
+        self._time_averages: Dict[str, TimeWeightedAverage] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter registered under ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str, initial: float = 0.0) -> Gauge:
+        """Get or create the gauge registered under ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, initial)
+        return self._gauges[name]
+
+    def summary(self, name: str) -> Summary:
+        """Get or create the summary registered under ``name``."""
+        if name not in self._summaries:
+            self._summaries[name] = Summary(name)
+        return self._summaries[name]
+
+    def time_average(
+        self, name: str, initial: float = 0.0, start_time: float = 0.0
+    ) -> TimeWeightedAverage:
+        """Get or create the time-weighted average registered under ``name``."""
+        if name not in self._time_averages:
+            self._time_averages[name] = TimeWeightedAverage(name, initial, start_time)
+        return self._time_averages[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat dict of every scalar metric (summaries export mean/p50/p99)."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, summary in self._summaries.items():
+            out[f"{name}.count"] = summary.count
+            out[f"{name}.mean"] = summary.mean
+            out[f"{name}.p50"] = summary.quantile(0.50)
+            out[f"{name}.p99"] = summary.quantile(0.99)
+        for name, twa in self._time_averages.items():
+            out[f"{name}.avg"] = twa.average()
+        return out
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered metric."""
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._summaries)
+            + list(self._time_averages)
+        )
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "Summary",
+    "TimeWeightedAverage",
+]

@@ -1,0 +1,126 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Every experiment prints a :class:`Table`; EXPERIMENTS.md embeds the output
+verbatim, so the formatting is stable and locale-independent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value != 0 and (abs(value) >= 10 ** 6 or abs(value) < 10 ** -(precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """An append-only table with fixed-width text rendering."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        title: Optional[str] = None,
+        precision: int = 3,
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.precision = precision
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, positionally or by column name (not both)."""
+        if values and named:
+            raise ValueError("pass either positional values or named values")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise KeyError(f"unknown columns: {sorted(unknown)}")
+            row = [named.get(col) for col in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in insertion order."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """Render as RFC-4180-ish CSV (header + rows, raw values)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return buffer.getvalue()
+
+    def to_records(self) -> List[dict]:
+        """Rows as a list of column→value dicts (JSON-friendly)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to a file."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())
+
+    def render(self) -> str:
+        """Render as a fixed-width text table."""
+        cells = [[_format_cell(v, self.precision) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """One-shot helper: build and render a :class:`Table`."""
+    table = Table(columns, title=title, precision=precision)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+__all__ = ["Table", "render_table"]

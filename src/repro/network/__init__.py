@@ -1,0 +1,29 @@
+"""Network models: links, paths, and standard connectivity profiles.
+
+A :class:`Link` combines propagation latency, a (possibly time-varying)
+bandwidth trace and a per-request protocol overhead, and serialises
+concurrent transfers through a configurable number of channels — the model
+used by EdgeCloudSim-class simulators.  A :class:`NetworkPath` chains links
+(UE → radio access → WAN → cloud).  :mod:`repro.network.profiles` provides
+calibrated presets (3G/4G/5G/WiFi/broadband) used across the benchmarks.
+"""
+
+from repro.network.link import Link, NetworkPath, TransferResult
+from repro.network.profiles import (
+    CONNECTIVITY_PROFILES,
+    ConnectivityProfile,
+    cloud_path,
+    edge_path,
+    profile,
+)
+
+__all__ = [
+    "CONNECTIVITY_PROFILES",
+    "ConnectivityProfile",
+    "Link",
+    "NetworkPath",
+    "TransferResult",
+    "cloud_path",
+    "edge_path",
+    "profile",
+]

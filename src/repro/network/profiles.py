@@ -1,0 +1,149 @@
+"""Calibrated connectivity presets.
+
+Numbers follow the values commonly used by edge-computing simulators
+(EdgeCloudSim's default scenarios and 3GPP reference figures): what matters
+for the reproduction is the *ordering* and rough ratios between
+technologies, not exact Mbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.metrics import MetricRegistry
+from repro.network.link import Link, NetworkPath
+from repro.sim import Simulator
+
+MBPS = 1_000_000 / 8  # bytes per second in one megabit/second
+
+
+@dataclass(frozen=True)
+class ConnectivityProfile:
+    """Uplink characteristics of one access technology."""
+
+    name: str
+    uplink_bps: float  # bytes/second
+    downlink_bps: float  # bytes/second
+    access_latency_s: float  # one-way UE <-> access network
+    wan_latency_s: float  # one-way access network <-> cloud region
+    edge_latency_s: float  # one-way access network <-> edge node
+    per_request_overhead_bytes: float = 1500.0
+
+
+CONNECTIVITY_PROFILES: Dict[str, ConnectivityProfile] = {
+    "3g": ConnectivityProfile(
+        name="3g",
+        uplink_bps=2 * MBPS,
+        downlink_bps=8 * MBPS,
+        access_latency_s=0.060,
+        wan_latency_s=0.050,
+        edge_latency_s=0.005,
+    ),
+    "4g": ConnectivityProfile(
+        name="4g",
+        uplink_bps=10 * MBPS,
+        downlink_bps=40 * MBPS,
+        access_latency_s=0.025,
+        wan_latency_s=0.040,
+        edge_latency_s=0.004,
+    ),
+    "5g": ConnectivityProfile(
+        name="5g",
+        uplink_bps=50 * MBPS,
+        downlink_bps=200 * MBPS,
+        access_latency_s=0.008,
+        wan_latency_s=0.035,
+        edge_latency_s=0.002,
+    ),
+    "wifi": ConnectivityProfile(
+        name="wifi",
+        uplink_bps=40 * MBPS,
+        downlink_bps=80 * MBPS,
+        access_latency_s=0.003,
+        wan_latency_s=0.030,
+        edge_latency_s=0.002,
+    ),
+    "broadband": ConnectivityProfile(
+        name="broadband",
+        uplink_bps=100 * MBPS,
+        downlink_bps=500 * MBPS,
+        access_latency_s=0.002,
+        wan_latency_s=0.020,
+        edge_latency_s=0.002,
+    ),
+}
+
+
+def profile(name: str) -> ConnectivityProfile:
+    """Look up a preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in CONNECTIVITY_PROFILES:
+        raise KeyError(
+            f"unknown connectivity profile {name!r}; "
+            f"known: {sorted(CONNECTIVITY_PROFILES)}"
+        )
+    return CONNECTIVITY_PROFILES[key]
+
+
+def cloud_path(
+    sim: Simulator,
+    prof: "ConnectivityProfile | str",
+    uplink: bool = True,
+    metrics: Optional[MetricRegistry] = None,
+) -> NetworkPath:
+    """Build the UE → access → WAN → cloud path for a profile.
+
+    ``uplink=False`` builds the return (cloud → UE) direction with the
+    downlink rate.
+    """
+    prof = profile(prof) if isinstance(prof, str) else prof
+    rate = prof.uplink_bps if uplink else prof.downlink_bps
+    direction = "up" if uplink else "down"
+    access = Link(
+        sim,
+        bandwidth=rate,
+        latency_s=prof.access_latency_s,
+        per_request_overhead_bytes=prof.per_request_overhead_bytes,
+        name=f"{prof.name}.access.{direction}",
+        metrics=metrics,
+    )
+    wan = Link(
+        sim,
+        bandwidth=rate * 4,  # the WAN core is rarely the bottleneck
+        latency_s=prof.wan_latency_s,
+        name=f"{prof.name}.wan.{direction}",
+        metrics=metrics,
+    )
+    return NetworkPath(sim, [access, wan], name=f"{prof.name}.cloud.{direction}")
+
+
+def edge_path(
+    sim: Simulator,
+    prof: "ConnectivityProfile | str",
+    uplink: bool = True,
+    metrics: Optional[MetricRegistry] = None,
+) -> NetworkPath:
+    """Build the UE → access → edge path (skips the WAN hop)."""
+    prof = profile(prof) if isinstance(prof, str) else prof
+    rate = prof.uplink_bps if uplink else prof.downlink_bps
+    direction = "up" if uplink else "down"
+    access = Link(
+        sim,
+        bandwidth=rate,
+        latency_s=prof.access_latency_s + prof.edge_latency_s,
+        per_request_overhead_bytes=prof.per_request_overhead_bytes,
+        name=f"{prof.name}.edge.{direction}",
+        metrics=metrics,
+    )
+    return NetworkPath(sim, [access], name=f"{prof.name}.edgepath.{direction}")
+
+
+__all__ = [
+    "CONNECTIVITY_PROFILES",
+    "ConnectivityProfile",
+    "MBPS",
+    "cloud_path",
+    "edge_path",
+    "profile",
+]

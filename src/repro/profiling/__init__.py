@@ -1,0 +1,17 @@
+"""Profiling substrate: measuring computational demands.
+
+Contribution C1 ("determine computational demands") needs measurements to
+learn from.  The :class:`Profiler` runs an application's components over a
+set of input sizes and records noisy demand observations — the simulation
+stand-in for instrumented profiling runs in a CI environment.  The
+:class:`OnlineProfiler` harvests the same observations from production
+executions so estimators keep learning after deployment.
+"""
+
+from repro.profiling.profiler import (
+    DemandObservation,
+    OnlineProfiler,
+    Profiler,
+)
+
+__all__ = ["DemandObservation", "OnlineProfiler", "Profiler"]

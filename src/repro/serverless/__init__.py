@@ -1,0 +1,63 @@
+"""Serverless (FaaS) platform simulator.
+
+Models the platform mechanics the paper's allocation contribution targets:
+
+* **memory tiers** with CPU proportional to memory (AWS-Lambda-style: one
+  full vCPU at 1769 MB, fractional below, multiple above);
+* **cold vs warm starts** with a keep-alive instance pool;
+* **per-function concurrency limits** with FIFO queueing;
+* **billing** per request plus GB-seconds with millisecond rounding.
+
+The compute-duration model applies Amdahl's law to the vCPU count, which
+produces the empirically observed "duration flattens, cost keeps rising"
+shape that makes memory-size optimisation non-trivial.
+"""
+
+from repro.serverless.billing import BillingModel, CostBreakdown
+from repro.serverless.function import (
+    FunctionSpec,
+    Invocation,
+    InvocationRequest,
+    execution_time,
+    vcpus_for_memory,
+)
+from repro.serverless.platform import (
+    InvocationFailedError,
+    PlatformConfig,
+    ServerlessPlatform,
+    ThrottledError,
+)
+from repro.serverless.retry import (
+    RetriedInvocation,
+    RetriesExhaustedError,
+    RetryPolicy,
+    invoke_with_retries,
+)
+from repro.serverless.workflow import (
+    WorkflowDefinition,
+    WorkflowEngine,
+    WorkflowExecution,
+    WorkflowStep,
+)
+
+__all__ = [
+    "BillingModel",
+    "CostBreakdown",
+    "FunctionSpec",
+    "Invocation",
+    "InvocationFailedError",
+    "InvocationRequest",
+    "PlatformConfig",
+    "RetriedInvocation",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "ServerlessPlatform",
+    "ThrottledError",
+    "WorkflowDefinition",
+    "WorkflowEngine",
+    "WorkflowExecution",
+    "WorkflowStep",
+    "execution_time",
+    "invoke_with_retries",
+    "vcpus_for_memory",
+]

@@ -1,0 +1,137 @@
+"""Retry policies for transient invocation failures.
+
+Serverless platforms fail a small fraction of attempts (sandbox kills,
+service hiccups); production offloading retries them with exponential
+backoff.  :func:`invoke_with_retries` wraps
+:meth:`~repro.serverless.platform.ServerlessPlatform.invoke` in a policy
+and returns a :class:`RetriedInvocation` that accounts the *total* bill
+including failed attempts — which matters, since failed attempts bill
+for the time they ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.serverless.function import Invocation, InvocationRequest
+from repro.serverless.platform import InvocationFailedError, ServerlessPlatform
+from repro.sim import Event
+from repro.sim.rng import RngStream
+
+
+class RetriesExhaustedError(RuntimeError):
+    """All attempts of a retried invocation failed."""
+
+    def __init__(self, function: str, attempts: int, wasted_usd: float) -> None:
+        super().__init__(
+            f"{function}: {attempts} attempts failed (${wasted_usd:.2e} billed)"
+        )
+        self.function = function
+        self.attempts = attempts
+        self.wasted_usd = wasted_usd
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with optional jitter.
+
+    Attempt *k* (0-based) waits ``base_delay_s * multiplier**k`` before
+    retrying, multiplied by a uniform jitter in ``[1-jitter, 1+jitter]``
+    when an RNG is supplied.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay_before_attempt(
+        self, attempt: int, rng: Optional[RngStream] = None
+    ) -> float:
+        """Backoff before (0-based) ``attempt``; attempt 0 never waits."""
+        if attempt <= 0:
+            return 0.0
+        delay = self.base_delay_s * self.multiplier ** (attempt - 1)
+        if rng is not None and self.jitter > 0:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+
+@dataclass(frozen=True)
+class RetriedInvocation:
+    """Final outcome of a retried invocation."""
+
+    invocation: Invocation
+    attempts: int
+    wasted_usd: float  # billed by failed attempts
+    backoff_s: float  # total time spent waiting between attempts
+
+    @property
+    def total_cost(self) -> float:
+        """Successful attempt's bill plus everything wasted on failures."""
+        return self.invocation.cost + self.wasted_usd
+
+
+def invoke_with_retries(
+    platform: ServerlessPlatform,
+    request: InvocationRequest,
+    policy: Optional[RetryPolicy] = None,
+    rng: Optional[RngStream] = None,
+) -> Event:
+    """Invoke with retries; the process event yields a
+    :class:`RetriedInvocation` or fails with :class:`RetriesExhaustedError`."""
+    policy = policy if policy is not None else RetryPolicy()
+    return platform.sim.spawn(
+        _retry_proc(platform, request, policy, rng),
+        name=f"{platform.name}.retry.{request.function}",
+    )
+
+
+def _retry_proc(
+    platform: ServerlessPlatform,
+    request: InvocationRequest,
+    policy: RetryPolicy,
+    rng: Optional[RngStream],
+) -> Generator[Event, object, RetriedInvocation]:
+    wasted = 0.0
+    backoff_total = 0.0
+    last_error: Optional[InvocationFailedError] = None
+    for attempt in range(policy.max_attempts):
+        delay = policy.delay_before_attempt(attempt, rng)
+        if delay > 0:
+            backoff_total += delay
+            yield platform.sim.timeout(delay)
+        try:
+            invocation: Invocation = yield platform.invoke(request)
+        except InvocationFailedError as error:
+            wasted += error.billed_usd
+            last_error = error
+            continue
+        return RetriedInvocation(
+            invocation=invocation,
+            attempts=attempt + 1,
+            wasted_usd=wasted,
+            backoff_s=backoff_total,
+        )
+    raise RetriesExhaustedError(
+        request.function, policy.max_attempts, wasted
+    ) from last_error
+
+
+__all__ = [
+    "RetriedInvocation",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "invoke_with_retries",
+]

@@ -1,0 +1,280 @@
+"""The discrete-event simulation kernel: clock, event heap, processes.
+
+The :class:`Simulator` owns a binary heap of ``(time, sequence, event)``
+entries.  ``sequence`` is a monotonically increasing tie-breaker, which makes
+same-timestamp ordering deterministic (insertion order) — a property the
+reproduction relies on so every benchmark regenerates identically.
+
+A :class:`Process` wraps a generator.  The generator yields
+:class:`~repro.sim.events.Event` objects; the process resumes when the
+yielded event fires, receiving ``event.value`` (or having the failure
+exception thrown into it).  A process is itself an event, so processes can
+wait on each other, join fan-outs with ``AllOf``, and so on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling into the past)."""
+
+
+class Process(Event):
+    """A running coroutine on the simulation timeline.
+
+    The process event triggers when the underlying generator returns
+    (successfully, with the ``return`` value) or raises (failed, with the
+    exception).  Other processes may ``yield`` a process to join it.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off via an immediately-scheduled event so that
+        # spawn() never runs user code synchronously.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a silent no-op, mirroring the
+        semantics of POSIX signal delivery to an exited task.
+        """
+        if self.triggered:
+            return
+        event = Event(self.sim)
+        event.callbacks.append(lambda _e: self._throw(Interrupt(cause)))
+        event.succeed(None)
+
+    # -- internals ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process death is a result
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.processed:
+            # Detach from whatever we were waiting on: when it eventually
+            # fires it must not resume us a second time.
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"
+            )
+        if target.processed:
+            # The event already fired; resume on the next kernel step.
+            relay = Event(self.sim)
+            if target.ok:
+                relay.callbacks.append(self._resume)
+                relay.succeed(target.value)
+            else:
+                relay.callbacks.append(lambda _e: self._throw(target.value))
+                relay.succeed(None)
+            self._waiting_on = None
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else ("ok" if self.ok else "failed")
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """Owner of the simulated clock and the pending-event heap.
+
+    Parameters
+    ----------
+    start:
+        Initial clock value (seconds).  Defaults to ``0.0``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._event_count = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events the kernel has dispatched."""
+        return self._event_count
+
+    # -- event construction -----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first event in ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def spawn(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from ``generator`` and return its handle."""
+        return Process(self, generator, name=name)
+
+    # Alias familiar to SimPy users.
+    process = spawn
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` as a callback at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={self._now}"
+            )
+        event = Event(self)
+        event.callbacks.append(lambda _e: fn())
+        event._ok = True
+        event._value = None
+        self._enqueue_at(when, event)
+        return event
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _enqueue_at(self, when: float, event: Event) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={self._now}"
+            )
+        if event._scheduled:
+            raise SimulationError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, event))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        self._enqueue_at(self._now, event)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Dispatch the single earliest pending event."""
+        if not self._heap:
+            raise SimulationError("step() called with an empty event heap")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self._event_count += 1
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock would pass that time (the clock is
+          then advanced exactly to it);
+        * an :class:`Event` — run until that event has been processed and
+          return its value (raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the target "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            if sentinel.ok:
+                return sentinel.value
+            raise sentinel.value
+
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until t={horizon}: clock already at t={self._now}"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now} pending={len(self._heap)}>"
+
+
+__all__ = ["Process", "SimulationError", "Simulator"]

@@ -1,0 +1,289 @@
+"""Contended resources for the discrete-event kernel.
+
+Three classic primitives:
+
+* :class:`Resource` — a counted server pool with a FIFO wait queue
+  (models CPUs, network links treated as slot-limited, concurrency limits);
+* :class:`PriorityResource` — the same with a priority queue;
+* :class:`Store` — a buffer of discrete items with blocking put/get
+  (models job queues and mailboxes);
+* :class:`Container` — a continuous level with blocking put/get
+  (models battery charge and byte budgets).
+
+All wait queues break ties by insertion order so that contended runs are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Yield it to block until granted; pass it to
+    :meth:`Resource.release` when done.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: "Simulator", resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently granted."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self.sim, self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot to the pool.
+
+        Releasing a request that was never granted (still queued) cancels
+        it instead.
+        """
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                raise RuntimeError(
+                    "release() called with a request unknown to this resource"
+                ) from None
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` carrying a priority (lower value = served first)."""
+
+    __slots__ = ("priority", "_order")
+
+    def __init__(
+        self, sim: "Simulator", resource: "PriorityResource", priority: float, order: int
+    ) -> None:
+        super().__init__(sim, resource)
+        self.priority = priority
+        self._order = order
+
+    def _sort_key(self) -> tuple[float, int]:
+        return (self.priority, self._order)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        super().__init__(sim, capacity)
+        self._pqueue: list[tuple[float, int, PriorityRequest]] = []
+        self._order = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def request(self, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
+        self._order += 1
+        req = PriorityRequest(self.sim, self, priority, self._order)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._pqueue, (priority, self._order, req))
+        return req
+
+    def release(self, request: Request) -> None:  # type: ignore[override]
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            # Lazy cancellation: mark and skip when popped.
+            for i, (_p, _o, queued) in enumerate(self._pqueue):
+                if queued is request:
+                    del self._pqueue[i]
+                    heapq.heapify(self._pqueue)
+                    return
+            raise RuntimeError(
+                "release() called with a request unknown to this resource"
+            )
+
+    def _grant_next(self) -> None:
+        while self._pqueue and len(self._users) < self.capacity:
+            _p, _o, nxt = heapq.heappop(self._pqueue)
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """A buffer of discrete items with blocking ``put``/``get``.
+
+    ``capacity`` bounds the number of buffered items; ``put`` blocks when
+    full, ``get`` blocks when empty.  Items are delivered FIFO.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event fires once it is buffered."""
+        event = Event(self.sim)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Withdraw one item; the returned event fires with the item."""
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(None)
+                progress = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progress = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous quantity (energy, bytes) with blocking put/get.
+
+    ``get(amount)`` blocks until the level covers ``amount``; ``put(amount)``
+    blocks until the level plus ``amount`` fits under ``capacity``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init level {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires when it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires when the level covers it."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} exceeds container capacity {self.capacity}"
+            )
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(None)
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progress = True
+
+
+__all__ = [
+    "Container",
+    "PriorityRequest",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,192 @@
+"""An S3-class object store on the simulation kernel.
+
+Pricing follows the 2022 S3 standard-tier structure (only ratios matter):
+storage by GB-month, small per-request fees, and an egress fee per GB
+that dominates everything for chatty download patterns — the reason
+well-partitioned applications keep heavy intermediates in the cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.metrics import MetricRegistry
+from repro.sim import Event, Simulator
+
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+GB = 1e9
+
+
+class ObjectNotFoundError(KeyError):
+    """Raised when getting or deleting a key that is not stored."""
+
+
+@dataclass(frozen=True)
+class StoragePricing:
+    """Object-store price card (USD)."""
+
+    price_per_gb_month: float = 0.023
+    price_per_put: float = 5.0e-6
+    price_per_get: float = 4.0e-7
+    egress_price_per_gb: float = 0.09
+    intra_cloud_price_per_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "price_per_gb_month",
+            "price_per_put",
+            "price_per_get",
+            "egress_price_per_gb",
+            "intra_cloud_price_per_gb",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def storage_cost(self, gb_seconds: float) -> float:
+        """Cost of holding data measured in GB-seconds."""
+        if gb_seconds < 0:
+            raise ValueError("gb_seconds must be >= 0")
+        return gb_seconds / SECONDS_PER_MONTH * self.price_per_gb_month
+
+    def transfer_cost(self, nbytes: float, external: bool) -> float:
+        """Egress (external) or intra-cloud transfer cost for ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        rate = self.egress_price_per_gb if external else self.intra_cloud_price_per_gb
+        return nbytes / GB * rate
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """Metadata of one stored object."""
+
+    key: str
+    nbytes: float
+    stored_at: float
+
+
+class ObjectStore:
+    """A keyed byte store with request latency and full cost accounting.
+
+    Request latency models the service-side overhead only; moving the
+    bytes over the access network is the caller's job (via
+    :class:`~repro.network.link.NetworkPath`), keeping the two charges —
+    time on the radio vs dollars at the provider — separate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pricing: Optional[StoragePricing] = None,
+        request_latency_s: float = 0.015,
+        name: str = "store",
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if request_latency_s < 0:
+            raise ValueError("request latency must be >= 0")
+        self.sim = sim
+        self.pricing = pricing if pricing is not None else StoragePricing()
+        self.request_latency_s = request_latency_s
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._objects: Dict[str, StoredObject] = {}
+        self._request_cost = 0.0
+        self._transfer_cost = 0.0
+        self._storage_gb_s_accrued = 0.0  # from deleted/overwritten objects
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, key: str, nbytes: float) -> Event:
+        """Store ``nbytes`` under ``key`` (overwrites); process event
+        yields the :class:`StoredObject`."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.sim.spawn(self._put_proc(key, nbytes), name=f"{self.name}.put")
+
+    def _put_proc(self, key: str, nbytes: float) -> Generator[Event, object, StoredObject]:
+        yield self.sim.timeout(self.request_latency_s)
+        self._retire(key)
+        record = StoredObject(key=key, nbytes=nbytes, stored_at=self.sim.now)
+        self._objects[key] = record
+        self._request_cost += self.pricing.price_per_put
+        self.metrics.counter(f"{self.name}.puts").increment()
+        self.metrics.counter(f"{self.name}.bytes_in").increment(nbytes)
+        return record
+
+    def get(self, key: str, external: bool = False) -> Event:
+        """Read ``key``; ``external=True`` charges egress (towards the
+        UE/internet), ``False`` charges the intra-cloud rate.  Process
+        event yields the :class:`StoredObject`."""
+        return self.sim.spawn(
+            self._get_proc(key, external), name=f"{self.name}.get"
+        )
+
+    def _get_proc(self, key: str, external: bool) -> Generator[Event, object, StoredObject]:
+        yield self.sim.timeout(self.request_latency_s)
+        if key not in self._objects:
+            raise ObjectNotFoundError(key)
+        record = self._objects[key]
+        self._request_cost += self.pricing.price_per_get
+        self._transfer_cost += self.pricing.transfer_cost(record.nbytes, external)
+        self.metrics.counter(f"{self.name}.gets").increment()
+        if external:
+            self.metrics.counter(f"{self.name}.egress_bytes").increment(record.nbytes)
+        return record
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` immediately (metadata operation, free)."""
+        if key not in self._objects:
+            raise ObjectNotFoundError(key)
+        self._retire(key)
+
+    def _retire(self, key: str) -> None:
+        previous = self._objects.pop(key, None)
+        if previous is not None:
+            held = self.sim.now - previous.stored_at
+            self._storage_gb_s_accrued += previous.nbytes / GB * held
+
+    # -- inspection -----------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def size_of(self, key: str) -> float:
+        """Bytes stored under ``key``."""
+        if key not in self._objects:
+            raise ObjectNotFoundError(key)
+        return self._objects[key].nbytes
+
+    @property
+    def stored_bytes(self) -> float:
+        """Total bytes currently held."""
+        return sum(o.nbytes for o in self._objects.values())
+
+    def keys(self) -> List[str]:
+        """Sorted keys currently stored."""
+        return sorted(self._objects)
+
+    # -- billing ----------------------------------------------------------
+
+    def storage_gb_seconds(self, until: Optional[float] = None) -> float:
+        """GB-seconds held, retired objects plus live ones."""
+        now = self.sim.now if until is None else until
+        live = sum(
+            o.nbytes / GB * max(now - o.stored_at, 0.0)
+            for o in self._objects.values()
+        )
+        return self._storage_gb_s_accrued + live
+
+    def total_cost(self, until: Optional[float] = None) -> float:
+        """Requests + transfers + storage-time, in USD."""
+        return (
+            self._request_cost
+            + self._transfer_cost
+            + self.pricing.storage_cost(self.storage_gb_seconds(until))
+        )
+
+
+__all__ = ["ObjectNotFoundError", "ObjectStore", "StoragePricing", "StoredObject"]

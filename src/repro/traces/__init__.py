@@ -1,0 +1,51 @@
+"""Workload-arrival and bandwidth-trace generators.
+
+Non-time-critical offloading decisions hinge on *when* work arrives and
+*how good* the uplink is at that moment.  This package generates both
+signals reproducibly:
+
+* arrival processes — :class:`PoissonArrivals`, :class:`DiurnalArrivals`
+  (sinusoidally modulated Poisson), :class:`BurstyArrivals` (two-state
+  MMPP) and :class:`DeterministicArrivals`;
+* bandwidth traces — :class:`ConstantBandwidth`, :class:`StepBandwidth`,
+  :class:`MarkovBandwidth` (Gilbert–Elliott style good/bad channel) and
+  :class:`DiurnalBandwidth`.
+"""
+
+from repro.traces.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.traces.replay import (
+    load_report_summary,
+    load_workload,
+    save_report,
+    save_workload,
+)
+from repro.traces.bandwidth import (
+    BandwidthTrace,
+    ConstantBandwidth,
+    DiurnalBandwidth,
+    MarkovBandwidth,
+    StepBandwidth,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BandwidthTrace",
+    "BurstyArrivals",
+    "ConstantBandwidth",
+    "DeterministicArrivals",
+    "DiurnalArrivals",
+    "DiurnalBandwidth",
+    "MarkovBandwidth",
+    "PoissonArrivals",
+    "StepBandwidth",
+    "load_report_summary",
+    "load_workload",
+    "save_report",
+    "save_workload",
+]

@@ -1,0 +1,187 @@
+"""Arrival-process generators.
+
+Each process yields successive absolute arrival times.  Generators are
+pull-based: call :meth:`ArrivalProcess.next_after` with the current time,
+or iterate :meth:`ArrivalProcess.times` for a bounded horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional, Sequence
+
+from repro.sim.rng import RngStream
+
+
+class ArrivalProcess(ABC):
+    """Interface for a point process on the simulated timeline."""
+
+    @abstractmethod
+    def next_after(self, t: float) -> float:
+        """Absolute time of the next arrival strictly after time ``t``."""
+
+    def times(self, horizon: float, start: float = 0.0) -> Iterator[float]:
+        """Yield every arrival in ``(start, horizon]`` in order."""
+        t = start
+        while True:
+            t = self.next_after(t)
+            if t > horizon:
+                return
+            yield t
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Arrivals at fixed, pre-specified times (or a fixed period).
+
+    Either pass explicit ``times`` or a ``period`` for an evenly spaced
+    train starting at ``offset``.
+    """
+
+    def __init__(
+        self,
+        times: Optional[Sequence[float]] = None,
+        period: Optional[float] = None,
+        offset: float = 0.0,
+    ) -> None:
+        if (times is None) == (period is None):
+            raise ValueError("pass exactly one of times= or period=")
+        if period is not None and period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self._times = sorted(times) if times is not None else None
+        self._period = period
+        self._offset = offset
+
+    def next_after(self, t: float) -> float:
+        if self._times is not None:
+            for arrival in self._times:
+                if arrival > t:
+                    return arrival
+            return math.inf
+        period = self._period
+        assert period is not None
+        k = math.floor((t - self._offset) / period) + 1
+        candidate = self._offset + k * period
+        # Guard against floating-point landing exactly on t.
+        while candidate <= t:
+            candidate += period
+        return candidate
+
+
+class PoissonArrivals(ArrivalProcess):
+    """A homogeneous Poisson process with the given rate (arrivals/second)."""
+
+    def __init__(self, rate: float, rng: RngStream) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+        self.rng = rng
+
+    def next_after(self, t: float) -> float:
+        return t + self.rng.exponential(1.0 / self.rate)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A non-homogeneous Poisson process with sinusoidal daily modulation.
+
+    The instantaneous rate is::
+
+        lambda(t) = base_rate * (1 + amplitude * sin(2*pi*t/period + phase))
+
+    implemented by thinning against the peak rate.  ``amplitude`` must be in
+    ``[0, 1)`` so the rate stays positive.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float,
+        rng: RngStream,
+        period: float = 86400.0,
+        phase: float = 0.0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {base_rate}")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.phase = phase
+        self.rng = rng
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t``."""
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period + self.phase)
+        )
+
+    def next_after(self, t: float) -> float:
+        peak = self.base_rate * (1.0 + self.amplitude)
+        while True:
+            t = t + self.rng.exponential(1.0 / peak)
+            if self.rng.uniform() <= self.rate_at(t) / peak:
+                return t
+
+
+class BurstyArrivals(ArrivalProcess):
+    """A two-state Markov-modulated Poisson process (calm/burst).
+
+    The process alternates between a ``calm`` state with ``calm_rate`` and a
+    ``burst`` state with ``burst_rate``; state sojourn times are exponential
+    with the given means.  This is the standard model for flash-crowd-style
+    workloads.
+    """
+
+    def __init__(
+        self,
+        calm_rate: float,
+        burst_rate: float,
+        mean_calm: float,
+        mean_burst: float,
+        rng: RngStream,
+    ) -> None:
+        for name, value in (
+            ("calm_rate", calm_rate),
+            ("burst_rate", burst_rate),
+            ("mean_calm", mean_calm),
+            ("mean_burst", mean_burst),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        self.calm_rate = calm_rate
+        self.burst_rate = burst_rate
+        self.mean_calm = mean_calm
+        self.mean_burst = mean_burst
+        self.rng = rng
+        self._in_burst = False
+        self._state_until = rng.exponential(mean_calm)
+
+    def next_after(self, t: float) -> float:
+        while True:
+            rate = self.burst_rate if self._in_burst else self.calm_rate
+            candidate = t + self.rng.exponential(1.0 / rate)
+            if candidate <= self._state_until:
+                return candidate
+            # Cross into the next regime and retry from the boundary.
+            t = self._state_until
+            self._in_burst = not self._in_burst
+            mean = self.mean_burst if self._in_burst else self.mean_calm
+            self._state_until = t + self.rng.exponential(mean)
+
+
+def interarrival_times(arrivals: List[float]) -> List[float]:
+    """Gaps between consecutive arrival times (helper for tests/benches)."""
+    return [b - a for a, b in zip(arrivals, arrivals[1:])]
+
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "interarrival_times",
+]

@@ -1,0 +1,214 @@
+"""Time-varying bandwidth traces.
+
+A :class:`BandwidthTrace` answers two questions the network substrate asks:
+
+* :meth:`BandwidthTrace.rate_at` — instantaneous rate (bytes/second) at a
+  point in time;
+* :meth:`BandwidthTrace.transfer_time` — how long moving ``n`` bytes takes
+  when starting at time ``t``, integrating the rate across regime changes.
+
+Rates are piecewise constant, which makes the integral exact and the
+simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from repro.sim.rng import RngStream
+
+
+class BandwidthTrace(ABC):
+    """Interface for a piecewise-constant bandwidth signal."""
+
+    @abstractmethod
+    def rate_at(self, t: float) -> float:
+        """Bytes/second available at time ``t`` (may be 0 during outages)."""
+
+    @abstractmethod
+    def next_change_after(self, t: float) -> float:
+        """Time of the next rate change strictly after ``t`` (inf if none)."""
+
+    def transfer_time(self, start: float, nbytes: float) -> float:
+        """Seconds needed to move ``nbytes`` starting at time ``start``.
+
+        Integrates the piecewise-constant rate; raises ``RuntimeError`` if
+        the transfer can never finish (e.g. a permanent outage).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        t = start
+        remaining = float(nbytes)
+        # Bounded number of regime crossings guards against infinite loops
+        # on pathological traces.
+        for _ in range(10_000_000):
+            rate = self.rate_at(t)
+            boundary = self.next_change_after(t)
+            if rate > 0:
+                needed = remaining / rate
+                if t + needed <= boundary:
+                    return (t + needed) - start
+                remaining -= rate * (boundary - t)
+            elif boundary == math.inf:
+                raise RuntimeError(
+                    "transfer cannot complete: zero bandwidth with no future change"
+                )
+            t = boundary
+        raise RuntimeError("transfer_time exceeded regime-crossing budget")
+
+
+class ConstantBandwidth(BandwidthTrace):
+    """A fixed rate forever."""
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be > 0, got {rate_bps}")
+        self.rate_bps = float(rate_bps)
+
+    def rate_at(self, t: float) -> float:
+        return self.rate_bps
+
+    def next_change_after(self, t: float) -> float:
+        return math.inf
+
+
+class StepBandwidth(BandwidthTrace):
+    """Explicit ``(start_time, rate)`` steps; the last step holds forever.
+
+    ``steps`` must start at or before time 0 and be strictly increasing in
+    time.  Rates of 0 model outages.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("at least one step is required")
+        times = [s[0] for s in steps]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("step times must be strictly increasing")
+        if times[0] > 0:
+            raise ValueError("the first step must start at or before t=0")
+        if any(rate < 0 for _, rate in steps):
+            raise ValueError("rates must be >= 0")
+        self.steps: List[Tuple[float, float]] = [(float(a), float(b)) for a, b in steps]
+
+    def rate_at(self, t: float) -> float:
+        rate = self.steps[0][1]
+        for start, step_rate in self.steps:
+            if start <= t:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+    def next_change_after(self, t: float) -> float:
+        for start, _rate in self.steps:
+            if start > t:
+                return start
+        return math.inf
+
+
+class MarkovBandwidth(BandwidthTrace):
+    """A Gilbert–Elliott-style good/bad channel.
+
+    The channel alternates between a ``good`` rate and a ``bad`` rate with
+    exponentially distributed sojourn times.  The realisation is generated
+    lazily and cached so repeated queries are consistent within one trace
+    object.
+    """
+
+    def __init__(
+        self,
+        good_rate: float,
+        bad_rate: float,
+        mean_good: float,
+        mean_bad: float,
+        rng: RngStream,
+    ) -> None:
+        if good_rate <= 0:
+            raise ValueError(f"good_rate must be > 0, got {good_rate}")
+        if bad_rate < 0:
+            raise ValueError(f"bad_rate must be >= 0, got {bad_rate}")
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("sojourn means must be > 0")
+        self.good_rate = good_rate
+        self.bad_rate = bad_rate
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self.rng = rng
+        # Cached realisation: boundaries[i] is when segment i ends;
+        # segment 0 starts at t=0 in the good state.
+        self._boundaries: List[float] = [rng.exponential(mean_good)]
+
+    def _extend_to(self, t: float) -> None:
+        while self._boundaries[-1] <= t:
+            in_good_next = len(self._boundaries) % 2 == 1  # next segment parity
+            mean = self.mean_bad if in_good_next else self.mean_good
+            self._boundaries.append(self._boundaries[-1] + self.rng.exponential(mean))
+
+    def _segment_index(self, t: float) -> int:
+        self._extend_to(t)
+        # Linear scan from a bisect start; boundary list is sorted.
+        import bisect
+
+        return bisect.bisect_right(self._boundaries, t)
+
+    def rate_at(self, t: float) -> float:
+        idx = self._segment_index(t)
+        return self.good_rate if idx % 2 == 0 else self.bad_rate
+
+    def next_change_after(self, t: float) -> float:
+        idx = self._segment_index(t)
+        self._extend_to(self._boundaries[idx] if idx < len(self._boundaries) else t)
+        return self._boundaries[idx]
+
+
+class DiurnalBandwidth(BandwidthTrace):
+    """Sinusoidal daily bandwidth, discretised into fixed slots.
+
+    Real cellular uplinks degrade at peak hours; this trace models that as
+    ``base * (1 + amplitude*sin(...))`` sampled per ``slot`` seconds so the
+    piecewise-constant contract holds.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float,
+        period: float = 86400.0,
+        slot: float = 300.0,
+        phase: float = 0.0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {base_rate}")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        if period <= 0 or slot <= 0:
+            raise ValueError("period and slot must be > 0")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.slot = slot
+        self.phase = phase
+
+    def rate_at(self, t: float) -> float:
+        slot_start = math.floor(t / self.slot) * self.slot
+        modulation = 1.0 + self.amplitude * math.sin(
+            2 * math.pi * slot_start / self.period + self.phase
+        )
+        return self.base_rate * modulation
+
+    def next_change_after(self, t: float) -> float:
+        return (math.floor(t / self.slot) + 1) * self.slot
+
+
+__all__ = [
+    "BandwidthTrace",
+    "ConstantBandwidth",
+    "DiurnalBandwidth",
+    "MarkovBandwidth",
+    "StepBandwidth",
+]

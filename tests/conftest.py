@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Hypothesis is derandomized so the suite is fully deterministic: property
+tests explore the same example sequence on every run, which keeps CI
+results reproducible — the same discipline the simulators themselves
+follow.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+settings.load_profile("repro")

@@ -1,0 +1,91 @@
+"""Tests for adaptation to time-varying conditions."""
+
+import pytest
+
+from repro import Job, ObjectiveWeights, OffloadController, photo_backup_app
+from repro.core.controller import Environment
+from repro.sim.rng import RngStream
+from repro.traces import MarkovBandwidth, StepBandwidth
+
+
+class TestCustomEnvironment:
+    def test_numeric_bandwidth(self):
+        env = Environment.build_custom(seed=0, uplink_bandwidth=2e6)
+        assert env.uplink.bottleneck_rate() == 2e6
+        assert env.downlink.bottleneck_rate() == 8e6
+
+    def test_trace_bandwidth(self):
+        trace = StepBandwidth([(0.0, 1e6), (100.0, 1e5)])
+        env = Environment.build_custom(seed=0, uplink_bandwidth=trace)
+        assert env.uplink.bottleneck_rate(50.0) == 1e6
+        assert env.uplink.bottleneck_rate(150.0) == 1e5
+
+    def test_latency_configurable(self):
+        env = Environment.build_custom(
+            seed=0, access_latency_s=0.1, wan_latency_s=0.2
+        )
+        assert env.uplink.total_latency_s == pytest.approx(0.3)
+
+    def test_storage_option(self):
+        env = Environment.build_custom(seed=0, with_storage=True)
+        assert env.storage is not None
+
+
+class TestAdaptiveReplanning:
+    def test_context_tracks_bandwidth_steps(self):
+        """The planning context reads the instantaneous uplink rate, so
+        plans differ before and after a bandwidth collapse."""
+        trace = StepBandwidth([(0.0, 1.25e7), (1_000.0, 2.0e4)])
+        env = Environment.build_custom(seed=1, uplink_bandwidth=trace)
+        controller = OffloadController(
+            env, photo_backup_app(), weights=ObjectiveWeights.interactive()
+        )
+        controller.profile_offline()
+
+        fast_partition = controller.plan(input_mb=4.0)
+        env.sim.run(until=2_000.0)  # step into the degraded regime
+        slow_partition = controller.plan(input_mb=4.0)
+        assert len(slow_partition.cloud) < len(fast_partition.cloud)
+
+    def test_adaptive_controller_replans_on_markov_channel(self):
+        """On a good/bad channel the adaptive controller keeps completing
+        jobs and re-evaluates its plan periodically."""
+        trace = MarkovBandwidth(
+            good_rate=1.25e7,
+            bad_rate=5e4,
+            mean_good=600.0,
+            mean_bad=600.0,
+            rng=RngStream(5),
+        )
+        env = Environment.build_custom(seed=2, uplink_bandwidth=trace)
+        controller = OffloadController(
+            env,
+            photo_backup_app(),
+            adaptive=True,
+            replan_every=2,
+            weights=ObjectiveWeights.interactive(),
+        )
+        controller.profile_offline()
+        controller.plan(input_mb=3.0)
+        jobs = [
+            Job(controller.app, input_mb=3.0, released_at=300.0 * i,
+                deadline=300.0 * i + 7200.0)
+            for i in range(10)
+        ]
+        report = controller.run_workload(jobs)
+        assert report.jobs_completed == 10
+
+    def test_online_learning_corrects_bad_priors(self):
+        """A demand model seeded with garbage converges through the
+        online observations production jobs feed back."""
+        env = Environment.build(seed=3)
+        controller = OffloadController(env, photo_backup_app())
+        # No offline profiling: the model starts from priors only.
+        before = controller.demand.mean_relative_error(3.0)
+        jobs = [
+            Job(controller.app, input_mb=3.0, released_at=30.0 * i)
+            for i in range(10)
+        ]
+        controller.run_workload(jobs)
+        after = controller.demand.mean_relative_error(3.0)
+        assert after < before

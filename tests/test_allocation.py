@@ -1,0 +1,214 @@
+"""Tests for serverless memory allocation (contribution C2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import photo_backup_app
+from repro.core.allocation import (
+    AllocationDecision,
+    MemoryAllocator,
+    pareto_frontier,
+)
+from repro.core.demand import DemandModel
+from repro.core.partitioning import Partition
+from repro.profiling import Profiler
+from repro.serverless.function import FULL_VCPU_MB, STANDARD_MEMORY_TIERS_MB
+from repro.sim.rng import RngStream
+
+
+@pytest.fixture
+def allocator():
+    return MemoryAllocator()
+
+
+class TestCurve:
+    def test_duration_nonincreasing_cost_behaviour(self, allocator):
+        curve = allocator.curve(work_gcycles=10.0, parallel_fraction=0.0)
+        durations = [p.duration_s for p in curve]
+        assert all(a >= b - 1e-9 for a, b in zip(durations, durations[1:]))
+        # Serial work: cost at the top tier clearly exceeds the minimum.
+        costs = [p.cost_usd for p in curve]
+        assert max(costs) > 2 * min(costs)
+
+    def test_curve_covers_all_tiers(self, allocator):
+        curve = allocator.curve(1.0)
+        assert [p.memory_mb for p in curve] == sorted(set(STANDARD_MEMORY_TIERS_MB))
+
+
+class TestCheapest:
+    def test_serial_picks_full_vcpu(self, allocator):
+        """Power-Tuning shape: within the flat-cost band, fastest wins —
+        one full vCPU for serial code."""
+        decision = allocator.cheapest("f", work_gcycles=10.0)
+        assert decision.memory_mb == FULL_VCPU_MB
+
+    def test_parallel_extends_band(self, allocator):
+        serial = allocator.cheapest("s", 10.0, parallel_fraction=0.0)
+        parallel = allocator.cheapest("p", 10.0, parallel_fraction=0.95)
+        assert parallel.memory_mb >= serial.memory_mb
+
+    def test_slo_forces_bigger_memory(self, allocator):
+        loose = allocator.cheapest("f", 10.0, parallel_fraction=0.9)
+        tight = allocator.cheapest(
+            "f", 10.0, parallel_fraction=0.9, latency_slo_s=1.5
+        )
+        assert tight.memory_mb > loose.memory_mb
+        assert tight.expected_duration_s <= 1.5
+
+    def test_infeasible_slo_raises(self, allocator):
+        with pytest.raises(ValueError, match="SLO"):
+            allocator.cheapest("f", 1000.0, latency_slo_s=0.001)
+
+    def test_memory_floor_respected(self, allocator):
+        decision = allocator.cheapest("f", 10.0, min_memory_mb=3000.0)
+        assert decision.memory_mb >= 3000.0
+
+    def test_floor_above_all_tiers_raises(self, allocator):
+        with pytest.raises(ValueError, match="floor"):
+            allocator.cheapest("f", 1.0, min_memory_mb=99999.0)
+
+    def test_decision_validation(self):
+        with pytest.raises(ValueError):
+            AllocationDecision("f", memory_mb=0.0, expected_duration_s=1.0,
+                               expected_cost_usd=1.0)
+
+    @given(
+        work=st.floats(min_value=0.1, max_value=500.0),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cheapest_is_truly_cheapest_within_tolerance(self, work, p):
+        allocator = MemoryAllocator()
+        decision = allocator.cheapest("f", work, parallel_fraction=p)
+        curve = allocator.curve(work, p)
+        min_cost = min(point.cost_usd for point in curve)
+        assert decision.expected_cost_usd <= min_cost * (1 + allocator.cost_tolerance) + 1e-12
+
+    @given(
+        work=st.floats(min_value=0.5, max_value=100.0),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        slo=st.floats(min_value=0.5, max_value=60.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_slo_always_respected_when_feasible(self, work, p, slo):
+        allocator = MemoryAllocator()
+        try:
+            decision = allocator.cheapest("f", work, p, latency_slo_s=slo)
+        except ValueError:
+            return  # infeasible SLO is a legal outcome
+        assert decision.expected_duration_s <= slo + 1e-12
+
+
+class TestFastest:
+    def test_fastest_minimises_duration(self, allocator):
+        decision = allocator.fastest("f", 10.0, parallel_fraction=0.9)
+        curve = allocator.curve(10.0, 0.9)
+        assert decision.expected_duration_s == pytest.approx(
+            min(p.duration_s for p in curve)
+        )
+
+    def test_serial_fastest_prefers_cheapest_tie(self, allocator):
+        """Serial durations are flat above one vCPU: the tie must break
+        toward the cheaper (smaller) size, not 10 GB."""
+        decision = allocator.fastest("f", 10.0, parallel_fraction=0.0)
+        assert decision.memory_mb == FULL_VCPU_MB
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["scan", "convex", "coarse"])
+    def test_strategies_agree_on_serial_work(self, strategy):
+        allocator = MemoryAllocator(strategy=strategy)
+        decision = allocator.cheapest("f", 20.0, parallel_fraction=0.0)
+        assert decision.memory_mb == FULL_VCPU_MB
+
+    def test_convex_uses_fewer_probes(self):
+        scan = MemoryAllocator(strategy="scan").cheapest("f", 20.0)
+        convex = MemoryAllocator(strategy="convex").cheapest("f", 20.0)
+        assert convex.probes < scan.probes
+
+    @given(
+        work=st.floats(min_value=0.5, max_value=200.0),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_convex_matches_scan(self, work, p):
+        scan = MemoryAllocator(strategy="scan").cheapest("f", work, p)
+        convex = MemoryAllocator(strategy="convex").cheapest("f", work, p)
+        assert convex.memory_mb == scan.memory_mb
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAllocator(strategy="magic")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MemoryAllocator(tiers_mb=())
+        with pytest.raises(ValueError):
+            MemoryAllocator(tiers_mb=(0.0,))
+        with pytest.raises(ValueError):
+            MemoryAllocator(coarse_stride=0)
+        with pytest.raises(ValueError):
+            MemoryAllocator(cost_tolerance=-0.1)
+
+
+class TestAllocateApp:
+    def make_trained_model(self, app):
+        model = DemandModel(app)
+        profiler = Profiler(RngStream(0), noise_sigma=0.05)
+        model.observe_profile(profiler.profile(app, [1.0, 2.0, 5.0], 3))
+        return model
+
+    def test_only_cloud_components_sized(self):
+        app = photo_backup_app()
+        model = self.make_trained_model(app)
+        allocator = MemoryAllocator()
+        partition = Partition(app.name, frozenset({"transcode", "feature_extract"}))
+        decisions = allocator.allocate_app(app, partition, model, input_mb=2.0)
+        assert set(decisions) == {"transcode", "feature_extract"}
+
+    def test_empty_partition_empty_allocation(self):
+        app = photo_backup_app()
+        model = self.make_trained_model(app)
+        decisions = MemoryAllocator().allocate_app(
+            app, Partition.local_only(app), model, input_mb=2.0
+        )
+        assert decisions == {}
+
+    def test_slo_budget_split(self):
+        app = photo_backup_app()
+        model = self.make_trained_model(app)
+        partition = Partition.full_offload(app)
+        decisions = MemoryAllocator().allocate_app(
+            app, partition, model, input_mb=2.0, latency_slo_s=30.0
+        )
+        total_expected = sum(d.expected_duration_s for d in decisions.values())
+        assert total_expected <= 30.0 + 1e-9
+
+    def test_function_specs_materialised(self):
+        app = photo_backup_app()
+        model = self.make_trained_model(app)
+        partition = Partition(app.name, frozenset({"transcode"}))
+        allocator = MemoryAllocator()
+        decisions = allocator.allocate_app(app, partition, model, 2.0)
+        specs = allocator.function_specs(app, decisions)
+        assert len(specs) == 1
+        assert specs[0].name == "photo_backup.transcode"
+        assert specs[0].package_mb == app.component("transcode").package_mb
+
+
+class TestParetoFrontier:
+    def test_frontier_sorted_and_nondominated(self, allocator):
+        curve = allocator.curve(10.0, parallel_fraction=0.5)
+        frontier = pareto_frontier(curve)
+        durations = [p.duration_s for p in frontier]
+        costs = [p.cost_usd for p in frontier]
+        assert durations == sorted(durations)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_frontier_subset_of_curve(self, allocator):
+        curve = allocator.curve(5.0)
+        frontier = pareto_frontier(curve)
+        assert set(p.memory_mb for p in frontier) <= set(p.memory_mb for p in curve)

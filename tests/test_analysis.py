@@ -1,0 +1,135 @@
+"""Tests for the analysis calculators."""
+
+import math
+
+import pytest
+
+from repro import Environment, Job, ObjectiveWeights, OffloadController, photo_backup_app
+from repro.analysis import (
+    compare_reports,
+    crossover_bandwidth,
+    edge_breakeven_rate,
+    energy_summary,
+    savings_table,
+)
+from repro.apps import ml_training_app
+from repro.baselines import local_only_controller
+from repro.core.partitioning import Partition, PartitionContext, evaluate_partition
+from repro.edge.node import EdgeNodeSpec
+
+
+class TestCrossoverBandwidth:
+    def test_photo_backup_crossover_in_single_digit_mbit(self):
+        """Benchmark F1 measured the crossover between 2 and 5 Mbit/s;
+        the analytic calculator must land in the same range."""
+        crossover = crossover_bandwidth(photo_backup_app(), input_mb=4.0)
+        assert crossover is not None
+        mbit = crossover * 8 / 1e6
+        assert 0.5 < mbit < 8.0
+
+    def test_crossover_is_actually_break_even(self):
+        app = photo_backup_app()
+        crossover = crossover_bandwidth(app, input_mb=4.0)
+        work = {c.name: c.work_for(4.0) for c in app.components}
+        ctx = PartitionContext(
+            app=app, input_mb=4.0, work=work,
+            uplink_bps=crossover, downlink_bps=crossover * 4,
+        )
+        local = evaluate_partition(ctx, Partition.local_only(app)).objective
+        full = evaluate_partition(ctx, Partition.full_offload(app)).objective
+        assert full == pytest.approx(local, rel=0.02)
+
+    def test_compute_heavy_app_has_no_crossover_above_floor(self):
+        """ML training wins offloaded even on very low bandwidth when
+        latency hardly matters — no crossover in a high range."""
+        crossover = crossover_bandwidth(
+            ml_training_app(),
+            input_mb=2.0,
+            weights=ObjectiveWeights.non_time_critical(),
+            lo_bps=5e4,
+        )
+        assert crossover is None
+
+    def test_crossover_monotone_in_device_speed(self):
+        """A faster device pushes the crossover to higher bandwidth."""
+        slow = crossover_bandwidth(
+            photo_backup_app(), input_mb=4.0, ue_cycles_per_second=0.6e9
+        )
+        fast = crossover_bandwidth(
+            photo_backup_app(), input_mb=4.0, ue_cycles_per_second=2.4e9
+        )
+        assert slow is not None and fast is not None
+        assert fast > slow
+
+
+class TestEdgeBreakeven:
+    def test_matches_f5b_shape(self):
+        """F5b showed serverless cheaper even at 128 jobs/h for analytics;
+        the analytic breakeven must therefore sit above 128/h."""
+        from repro.apps import nightly_analytics_app
+
+        rate = edge_breakeven_rate(nightly_analytics_app(), input_mb=6.0)
+        assert rate > 128.0
+
+    def test_cheaper_edge_lowers_breakeven(self):
+        app = photo_backup_app()
+        expensive = edge_breakeven_rate(
+            app, edge_spec=EdgeNodeSpec(hourly_cost_usd=1.0)
+        )
+        cheap = edge_breakeven_rate(
+            app, edge_spec=EdgeNodeSpec(hourly_cost_usd=0.01)
+        )
+        assert cheap < expensive
+
+    def test_no_offloadable_work_is_infinite(self):
+        from repro.apps import AppGraph, Component
+
+        app = AppGraph("pinned", [Component("only", offloadable=False)])
+        assert math.isinf(edge_breakeven_rate(app))
+
+
+def run_pair():
+    def run(factory):
+        env = Environment.build(seed=9)
+        controller = factory(env)
+        if controller.partition is None:
+            controller.profile_offline()
+            controller.plan(input_mb=4.0)
+        jobs = [
+            Job(controller.app, input_mb=4.0, released_at=60.0 * i,
+                deadline=60.0 * i + 3600.0)
+            for i in range(3)
+        ]
+        return controller.run_workload(jobs)
+
+    local = run(lambda env: local_only_controller(env, photo_backup_app()))
+    optimised = run(lambda env: OffloadController(env, photo_backup_app()))
+    return local, optimised
+
+
+class TestReportComparison:
+    def test_compare_reports_signs(self):
+        local, optimised = run_pair()
+        deltas = compare_reports(local, optimised)
+        assert deltas["energy"] < 0  # optimised saves energy
+        assert deltas["cost"] == math.inf  # local cost is zero
+        assert deltas["miss_delta"] == 0.0
+
+    def test_energy_summary_matches_totals(self):
+        _local, optimised = run_pair()
+        summary = energy_summary(optimised)
+        assert sum(summary.values()) == pytest.approx(
+            optimised.total_ue_energy_j
+        )
+        assert "tx" in summary
+
+    def test_savings_table(self):
+        local, optimised = run_pair()
+        table = savings_table(
+            {"local": local, "optimised": optimised}, baseline="local"
+        )
+        assert len(table.rows) == 2
+        rendered = table.render()
+        assert "(baseline)" in rendered
+        with pytest.raises(KeyError):
+            savings_table({"a": local}, baseline="missing")

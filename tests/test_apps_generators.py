@@ -1,0 +1,114 @@
+"""Tests for synthetic application generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    fanout_fanin_app,
+    layered_random_app,
+    linear_pipeline_app,
+    random_tree_app,
+)
+from repro.sim.rng import RngStream
+
+
+class TestLinearPipeline:
+    def test_shape(self):
+        app = linear_pipeline_app(5, RngStream(0))
+        assert len(app) == 5
+        assert len(app.flows) == 4
+        assert app.is_tree()
+
+    def test_endpoints_pinned(self):
+        app = linear_pipeline_app(4, RngStream(0))
+        assert app.pinned_names() == ["s0", "s3"]
+
+    def test_minimum_stages(self):
+        with pytest.raises(ValueError):
+            linear_pipeline_app(1, RngStream(0))
+
+    def test_reproducible(self):
+        a = linear_pipeline_app(5, RngStream(7))
+        b = linear_pipeline_app(5, RngStream(7))
+        for name in a.component_names:
+            assert a.component(name).work_gcycles == b.component(name).work_gcycles
+
+
+class TestFanoutFanin:
+    def test_shape(self):
+        app = fanout_fanin_app(4, RngStream(1))
+        assert len(app) == 6  # source + 4 workers + sink
+        assert len(app.flows) == 8
+        assert app.entry_components == ["source"]
+        assert app.exit_components == ["sink"]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            fanout_fanin_app(0, RngStream(0))
+
+    def test_width_one_is_pipeline(self):
+        app = fanout_fanin_app(1, RngStream(2))
+        assert len(app) == 3
+        assert app.is_tree()
+
+
+class TestRandomTree:
+    @given(n=st.integers(min_value=1, max_value=30), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_tree(self, n, seed):
+        app = random_tree_app(n, RngStream(seed))
+        assert len(app) == n
+        assert len(app.flows) == n - 1
+        assert app.is_tree()
+
+    def test_root_pinned(self):
+        app = random_tree_app(6, RngStream(3))
+        assert "c0" in app.pinned_names()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_tree_app(0, RngStream(0))
+
+
+class TestLayeredRandom:
+    @given(
+        layers=st.integers(min_value=2, max_value=6),
+        width=st.integers(min_value=1, max_value=5),
+        probability=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_structure_invariants(self, layers, width, probability, seed):
+        app = layered_random_app(layers, width, RngStream(seed), probability)
+        expected = 2 + (layers - 2) * width
+        assert len(app) == expected
+        # Acyclicity is enforced by AppGraph itself; every non-entry
+        # component must be reachable (has at least one predecessor).
+        for name in app.component_names:
+            if name != "entry":
+                assert app.predecessors(name), f"{name} unreachable"
+
+    def test_validation(self):
+        rng = RngStream(0)
+        with pytest.raises(ValueError):
+            layered_random_app(1, 2, rng)
+        with pytest.raises(ValueError):
+            layered_random_app(3, 0, rng)
+        with pytest.raises(ValueError):
+            layered_random_app(3, 2, rng, edge_probability=1.5)
+
+    def test_entry_exit_pinned(self):
+        app = layered_random_app(4, 3, RngStream(5))
+        assert set(app.pinned_names()) == {"entry", "exit"}
+
+
+class TestScaleParameters:
+    def test_work_scale_increases_demand(self):
+        light = linear_pipeline_app(6, RngStream(9), work_scale=1.0)
+        heavy = linear_pipeline_app(6, RngStream(9), work_scale=10.0)
+        assert heavy.total_work(1.0) > light.total_work(1.0)
+
+    def test_custom_name(self):
+        app = random_tree_app(3, RngStream(0), name="custom")
+        assert app.name == "custom"

@@ -1,0 +1,84 @@
+"""Tests for jobs and job results."""
+
+import math
+
+import pytest
+
+from repro.apps import Job, JobResult, photo_backup_app
+
+
+@pytest.fixture
+def app():
+    return photo_backup_app()
+
+
+class TestJob:
+    def test_unique_ids(self, app):
+        a, b = Job(app), Job(app)
+        assert a.job_id != b.job_id
+
+    def test_slack(self, app):
+        job = Job(app, released_at=10.0, deadline=70.0)
+        assert job.slack == 60.0
+
+    def test_infinite_deadline_default(self, app):
+        assert Job(app).deadline == math.inf
+
+    def test_deadline_before_release_rejected(self, app):
+        with pytest.raises(ValueError):
+            Job(app, released_at=10.0, deadline=5.0)
+
+    def test_negative_input_rejected(self, app):
+        with pytest.raises(ValueError):
+            Job(app, input_mb=-1.0)
+
+    def test_component_work_scales_with_input(self, app):
+        small = Job(app, input_mb=1.0)
+        large = Job(app, input_mb=10.0)
+        assert large.component_work("transcode") > small.component_work("transcode")
+
+    def test_flow_bytes(self, app):
+        job = Job(app, input_mb=2.0)
+        assert job.flow_bytes("capture", "transcode") == pytest.approx(2e6)
+
+    def test_total_work_matches_graph(self, app):
+        job = Job(app, input_mb=3.0)
+        assert job.total_work() == pytest.approx(app.total_work(3.0))
+
+    def test_with_deadline_preserves_identity(self, app):
+        job = Job(app, input_mb=2.0, released_at=5.0, deadline=100.0)
+        tightened = job.with_deadline(50.0)
+        assert tightened.job_id == job.job_id
+        assert tightened.deadline == 50.0
+        assert tightened.input_mb == 2.0
+
+
+class TestJobResult:
+    def make_result(self, app, finished=100.0, deadline=150.0):
+        job = Job(app, released_at=10.0, deadline=deadline)
+        return JobResult(
+            job=job,
+            started_at=20.0,
+            finished_at=finished,
+            ue_energy_j=5.0,
+            cloud_cost_usd=0.001,
+        )
+
+    def test_timing_properties(self, app):
+        result = self.make_result(app)
+        assert result.makespan == pytest.approx(80.0)
+        assert result.response_time == pytest.approx(90.0)
+
+    def test_deadline_met(self, app):
+        assert self.make_result(app, finished=100.0, deadline=150.0).met_deadline
+        assert not self.make_result(app, finished=200.0, deadline=150.0).met_deadline
+
+    def test_lateness_sign(self, app):
+        early = self.make_result(app, finished=100.0, deadline=150.0)
+        late = self.make_result(app, finished=200.0, deadline=150.0)
+        assert early.lateness == pytest.approx(-50.0)
+        assert late.lateness == pytest.approx(50.0)
+
+    def test_boundary_finish_meets_deadline(self, app):
+        result = self.make_result(app, finished=150.0, deadline=150.0)
+        assert result.met_deadline

@@ -1,0 +1,99 @@
+"""Tests for the application linter."""
+
+import pytest
+
+from repro.apps import AppGraph, Component, DataFlow
+from repro.apps.catalog import CATALOG
+from repro.apps.lint import LintWarning, lint_app
+
+
+def codes(app):
+    return {w.code for w in lint_app(app)}
+
+
+class TestRules:
+    def test_catalog_apps_are_clean(self):
+        for name, factory in CATALOG.items():
+            warnings = lint_app(factory())
+            assert warnings == [], (name, [str(w) for w in warnings])
+
+    def test_w001_offloadable_entry(self):
+        app = AppGraph(
+            "x",
+            [Component("entry"), Component("exit", offloadable=False)],
+            [DataFlow("entry", "exit")],
+        )
+        assert "W001" in codes(app)
+
+    def test_w002_isolated_component(self):
+        app = AppGraph(
+            "x",
+            [
+                Component("a", offloadable=False),
+                Component("b", offloadable=False),
+                Component("floating"),
+            ],
+            [DataFlow("a", "b")],
+        )
+        found = codes(app)
+        assert "W002" in found
+
+    def test_w003_zero_work_offloadable(self):
+        app = AppGraph(
+            "x",
+            [
+                Component("a", offloadable=False),
+                Component("noop", work_gcycles=0.0, work_gcycles_per_mb=0.0),
+                Component("z", offloadable=False),
+            ],
+            [DataFlow("a", "noop"), DataFlow("noop", "z")],
+        )
+        assert "W003" in codes(app)
+
+    def test_w004_impossible_memory_floor(self):
+        app = AppGraph(
+            "x",
+            [
+                Component("a", offloadable=False),
+                Component("huge", min_memory_mb=99999),
+                Component("z", offloadable=False),
+            ],
+            [DataFlow("a", "huge"), DataFlow("huge", "z")],
+        )
+        assert "W004" in codes(app)
+
+    def test_w005_data_amplification(self):
+        app = AppGraph(
+            "x",
+            [Component("a", offloadable=False), Component("z", offloadable=False)],
+            [DataFlow("a", "z", bytes_per_mb=5.0)],
+        )
+        assert "W005" in codes(app)
+
+    def test_w007_heavy_pinned_component(self):
+        app = AppGraph(
+            "x",
+            [
+                Component("boulder", work_gcycles=100.0, offloadable=False),
+                Component("pebble", work_gcycles=1.0),
+            ],
+            [DataFlow("boulder", "pebble")],
+        )
+        assert "W007" in codes(app)
+
+    def test_warning_formatting(self):
+        warning = LintWarning("W001", "entry", "message")
+        assert str(warning) == "[W001] entry: message"
+
+    def test_warnings_sorted(self):
+        app = AppGraph(
+            "x",
+            [
+                Component("z_heavy", work_gcycles=100.0, offloadable=False),
+                Component("a_noop", work_gcycles=0.0),
+            ],
+            [DataFlow("z_heavy", "a_noop")],
+        )
+        warnings = lint_app(app)
+        keys = [(w.code, w.subject) for w in warnings]
+        assert keys == sorted(keys)

@@ -1,0 +1,139 @@
+"""Tests for the baseline policies and the edge runner."""
+
+import pytest
+
+from repro import Environment, Job, ObjectiveWeights, photo_backup_app
+from repro.apps import ml_training_app
+from repro.baselines import (
+    EdgeEnvironment,
+    EdgeJobRunner,
+    MyopicLatencyPartitioner,
+    RandomPartitioner,
+    full_offload_controller,
+    local_only_controller,
+)
+from repro.core.partitioning import Partition, PartitionContext
+from repro.sim.rng import RngStream
+
+
+def make_context(app, input_mb=2.0, uplink_bps=1.25e6):
+    work = {c.name: c.work_for(input_mb) for c in app.components}
+    return PartitionContext(app=app, input_mb=input_mb, work=work,
+                            uplink_bps=uplink_bps)
+
+
+class TestRandomPartitioner:
+    def test_respects_pins(self):
+        app = photo_backup_app()
+        partitioner = RandomPartitioner(RngStream(0), offload_probability=1.0)
+        partition = partitioner.partition(make_context(app))
+        assert partition.cloud == frozenset(app.offloadable_names())
+
+    def test_probability_zero_is_local_only(self):
+        app = photo_backup_app()
+        partitioner = RandomPartitioner(RngStream(0), offload_probability=0.0)
+        assert partitioner.partition(make_context(app)).cloud == frozenset()
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomPartitioner(RngStream(0), offload_probability=1.5)
+
+
+class TestMyopicPartitioner:
+    def test_offloads_heavy_components_on_fast_link(self):
+        app = ml_training_app()
+        partition = MyopicLatencyPartitioner().partition(
+            make_context(app, uplink_bps=1.25e7)
+        )
+        assert "train" in partition.cloud
+
+    def test_keeps_everything_local_on_dead_link(self):
+        app = ml_training_app()
+        partition = MyopicLatencyPartitioner().partition(
+            make_context(app, uplink_bps=10.0)
+        )
+        assert partition.cloud == frozenset()
+
+    def test_never_offloads_pinned(self):
+        app = photo_backup_app()
+        partition = MyopicLatencyPartitioner().partition(
+            make_context(app, uplink_bps=1e9)
+        )
+        assert "capture" not in partition.cloud
+
+
+class TestTrivialControllers:
+    def test_local_only_never_invokes_cloud(self):
+        env = Environment.build(seed=0)
+        controller = local_only_controller(env, photo_backup_app())
+        report = controller.run_workload([Job(controller.app, input_mb=2.0)])
+        assert report.results[0].cloud_cost_usd == 0.0
+        assert env.platform.total_cost == 0.0
+
+    def test_full_offload_moves_all_offloadable(self):
+        env = Environment.build(seed=0)
+        controller = full_offload_controller(env, photo_backup_app())
+        controller.plan(input_mb=2.0)
+        assert controller.partition.cloud == frozenset(
+            photo_backup_app().offloadable_names()
+        )
+        report = controller.run_workload([Job(controller.app, input_mb=2.0)])
+        assert report.results[0].cloud_cost_usd > 0
+
+
+class TestEdgeRunner:
+    def test_job_completes(self):
+        env = EdgeEnvironment.build(seed=0)
+        runner = EdgeJobRunner(env, photo_backup_app())
+        report = runner.run_workload([Job(runner.app, input_mb=2.0)])
+        assert report.jobs_completed == 1
+        result = report.results[0]
+        assert result.cloud_cost_usd == 0.0  # edge bills by provisioning
+        assert result.ue_energy_j > 0
+
+    def test_dag_order_respected(self):
+        env = EdgeEnvironment.build(seed=0)
+        runner = EdgeJobRunner(env, photo_backup_app())
+        report = runner.run_workload([Job(runner.app, input_mb=2.0)])
+        finish = report.results[0].component_finish_times
+        for flow in runner.app.flows:
+            assert finish[flow.src] <= finish[flow.dst]
+
+    def test_custom_partition(self):
+        app = photo_backup_app()
+        env = EdgeEnvironment.build(seed=0)
+        runner = EdgeJobRunner(
+            env, app, partition=Partition(app.name, frozenset({"transcode"}))
+        )
+        report = runner.run_workload([Job(app, input_mb=2.0)])
+        assert report.jobs_completed == 1
+
+    def test_foreign_job_rejected(self):
+        env = EdgeEnvironment.build(seed=0)
+        runner = EdgeJobRunner(env, photo_backup_app())
+        with pytest.raises(ValueError):
+            runner.submit(Job(ml_training_app()))
+
+    def test_edge_latency_beats_cloud_for_interactive(self):
+        """The edge's raison d'être: lower response time than cloud
+        serverless for the same app and connectivity."""
+        app_factory = ml_training_app
+        edge_env = EdgeEnvironment.build(seed=1)
+        edge = EdgeJobRunner(edge_env, app_factory())
+        edge_report = edge.run_workload([Job(edge.app, input_mb=2.0)])
+
+        cloud_env = Environment.build(seed=1)
+        cloud = full_offload_controller(cloud_env, app_factory())
+        cloud_report = cloud.run_workload([Job(cloud.app, input_mb=2.0)])
+
+        assert (
+            edge_report.results[0].response_time
+            < cloud_report.results[0].response_time
+        )
+
+    def test_provisioned_cost_accrues_even_when_idle(self):
+        env = EdgeEnvironment.build(seed=0)
+        runner = EdgeJobRunner(env, photo_backup_app())
+        jobs = [Job(runner.app, input_mb=1.0, released_at=3600.0)]
+        runner.run_workload(jobs)
+        assert env.edge.provisioned_cost() > 0.19  # ≥ 1 hour at default rate

@@ -1,0 +1,196 @@
+"""Tests for the CI/CD substrate (repo, build, artifacts, deploy)."""
+
+import pytest
+
+from repro.apps import nightly_analytics_app, photo_backup_app
+from repro.apps.graph import Component
+from repro.cicd import (
+    Artifact,
+    ArtifactRegistry,
+    BuildSystem,
+    DeploymentTarget,
+    SourceRepository,
+)
+from repro.serverless import FunctionSpec, PlatformConfig, ServerlessPlatform
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSourceRepository:
+    def test_initial_commit_is_head(self):
+        repo = SourceRepository("r", photo_backup_app())
+        assert len(repo) == 1
+        assert repo.head.message == "initial"
+        assert repo.head.parent is None
+
+    def test_commit_chain(self):
+        app = photo_backup_app()
+        repo = SourceRepository("r", app)
+        first = repo.head
+        changed = app.with_component(Component("transcode", work_gcycles=99.0))
+        second = repo.commit(changed, "tune transcode")
+        assert repo.head is second
+        assert second.parent == first.revision
+        assert len(repo) == 2
+
+    def test_identical_content_same_revision(self):
+        app = photo_backup_app()
+        repo = SourceRepository("r", app)
+        again = repo.commit(app, "initial")
+        assert again.revision == repo.log()[0].revision
+        assert len(repo) == 1
+
+    def test_checkout(self):
+        repo = SourceRepository("r", photo_backup_app())
+        assert repo.checkout(repo.head.revision) is repo.head
+        with pytest.raises(KeyError):
+            repo.checkout("deadbeef")
+
+    def test_different_content_different_revision(self):
+        app = photo_backup_app()
+        repo = SourceRepository("r", app)
+        changed = app.with_component(Component("transcode", work_gcycles=1.0))
+        assert repo.commit(changed, "x").revision != repo.log()[0].revision
+
+
+class TestArtifactRegistry:
+    def test_push_pull_roundtrip(self):
+        registry = ArtifactRegistry()
+        artifact = Artifact.build("app", "comp", "rev1", 10.0)
+        registry.push(artifact)
+        assert registry.pull("app", "comp", "rev1") == artifact
+        assert registry.has("app", "comp", "rev1")
+        assert len(registry) == 1
+
+    def test_idempotent_push(self):
+        registry = ArtifactRegistry()
+        artifact = Artifact.build("app", "comp", "rev1", 10.0)
+        registry.push(artifact)
+        registry.push(artifact)
+        assert len(registry) == 1
+        assert registry.pushes == 2
+
+    def test_digest_conflict_rejected(self):
+        registry = ArtifactRegistry()
+        registry.push(Artifact.build("app", "comp", "rev1", 10.0))
+        with pytest.raises(ValueError):
+            registry.push(Artifact.build("app", "comp", "rev1", 20.0))
+
+    def test_missing_pull_rejected(self):
+        with pytest.raises(KeyError):
+            ArtifactRegistry().pull("a", "b", "c")
+
+    def test_list_revision_sorted(self):
+        registry = ArtifactRegistry()
+        for component in ("zeta", "alpha"):
+            registry.push(Artifact.build("app", component, "rev1", 1.0))
+        names = [a.component for a in registry.list_revision("app", "rev1")]
+        assert names == ["alpha", "zeta"]
+
+    def test_negative_package_rejected(self):
+        with pytest.raises(ValueError):
+            Artifact.build("a", "c", "r", -1.0)
+
+
+class TestBuildSystem:
+    def test_build_produces_all_artifacts(self, sim):
+        repo = SourceRepository("r", nightly_analytics_app())
+        registry = ArtifactRegistry()
+        builder = BuildSystem(sim, registry)
+        artifacts = sim.run(until=builder.build(repo.head))
+        assert len(artifacts) == len(repo.head.app)
+        assert len(registry) == len(artifacts)
+
+    def test_build_charges_time(self, sim):
+        repo = SourceRepository("r", nightly_analytics_app())
+        builder = BuildSystem(sim, ArtifactRegistry(), fixed_s=30.0, per_mb_s=1.0)
+        sim.run(until=builder.build(repo.head))
+        expected = 30.0 + sum(c.package_mb for c in repo.head.app.components)
+        assert sim.now == pytest.approx(expected)
+
+    def test_incremental_rebuild_is_fast(self, sim):
+        repo = SourceRepository("r", nightly_analytics_app())
+        builder = BuildSystem(sim, ArtifactRegistry(), fixed_s=30.0, per_mb_s=1.0)
+        sim.run(until=builder.build(repo.head))
+        first_duration = sim.now
+        sim.run(until=builder.build(repo.head))
+        assert sim.now - first_duration < first_duration * 0.2
+
+    def test_estimate(self, sim):
+        repo = SourceRepository("r", nightly_analytics_app())
+        builder = BuildSystem(sim, ArtifactRegistry(), fixed_s=30.0, per_mb_s=1.0)
+        assert builder.estimate_build_time(repo.head) > 30.0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            BuildSystem(sim, ArtifactRegistry(), fixed_s=-1.0)
+
+
+class TestDeploymentTarget:
+    def make_stack(self, sim):
+        platform = ServerlessPlatform(sim, PlatformConfig())
+        target = DeploymentTarget(sim, platform, fixed_s=5.0, per_mb_s=0.1)
+        repo = SourceRepository("r", nightly_analytics_app())
+        registry = ArtifactRegistry()
+        builder = BuildSystem(sim, registry)
+        artifacts = sim.run(until=builder.build(repo.head))
+        return platform, target, repo, artifacts
+
+    def test_deploys_only_planned_components(self, sim):
+        platform, target, repo, artifacts = self.make_stack(sim)
+        plan = {"aggregate": 2048.0, "report": 1024.0}
+        names = sim.run(
+            until=target.deploy_revision(repo.head.revision, artifacts, plan)
+        )
+        assert sorted(names) == [
+            "nightly_analytics.aggregate",
+            "nightly_analytics.report",
+        ]
+        assert platform.is_deployed("nightly_analytics.aggregate")
+        assert not platform.is_deployed("nightly_analytics.parse")
+        assert platform.spec("nightly_analytics.aggregate").memory_mb == 2048.0
+
+    def test_redeploy_unchanged_is_free(self, sim):
+        platform, target, repo, artifacts = self.make_stack(sim)
+        plan = {"aggregate": 2048.0}
+        sim.run(until=target.deploy_revision(repo.head.revision, artifacts, plan))
+        before = sim.now
+        sim.run(until=target.deploy_revision(repo.head.revision, artifacts, plan))
+        assert sim.now == before  # spec unchanged: no deploy time charged
+
+    def test_rollback_restores_previous_functions(self, sim):
+        platform, target, repo, artifacts = self.make_stack(sim)
+        rev1 = repo.head.revision
+        sim.run(
+            until=target.deploy_revision(rev1, artifacts, {"aggregate": 2048.0})
+        )
+        # A second revision resizes the function.
+        changed = repo.head.app.with_component(
+            Component("aggregate", work_gcycles=99.0, package_mb=80)
+        )
+        commit2 = repo.commit(changed, "resize")
+        builder = BuildSystem(sim, ArtifactRegistry())
+        artifacts2 = sim.run(until=builder.build(commit2))
+        sim.run(
+            until=target.deploy_revision(
+                commit2.revision, artifacts2, {"aggregate": 4096.0}
+            )
+        )
+        assert platform.spec("nightly_analytics.aggregate").memory_mb == 4096.0
+        sim.run(until=target.rollback(rev1))
+        assert platform.spec("nightly_analytics.aggregate").memory_mb == 2048.0
+
+    def test_rollback_unknown_revision_rejected(self, sim):
+        _platform, target, _repo, _artifacts = self.make_stack(sim)
+        with pytest.raises(KeyError):
+            target.rollback("nope")
+
+    def test_namespace_prefix(self, sim):
+        platform = ServerlessPlatform(sim, PlatformConfig())
+        target = DeploymentTarget(sim, platform, namespace="canary.")
+        artifact = Artifact.build("app", "comp", "rev", 1.0)
+        assert target.function_name(artifact) == "canary.app.comp"

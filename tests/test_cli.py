@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_requires_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+    def test_unknown_connectivity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["plan", "--app", "photo_backup", "--connectivity", "6g"]
+            )
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "photo_backup", "--scheduler", "psychic"]
+            )
+
+
+class TestListCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("photo_backup", "nightly_analytics", "ml_training"):
+            assert app in out
+
+    def test_list_profiles(self, capsys):
+        assert main(["list-profiles"]) == 0
+        out = capsys.readouterr().out
+        for profile in ("3g", "4g", "5g", "wifi", "broadband"):
+            assert profile in out
+
+
+class TestPlan:
+    def test_plan_outputs_partition_and_allocation(self, capsys):
+        code = main(
+            ["plan", "--app", "photo_backup", "--seed", "1", "--input-mb", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cloud components" in out
+        assert "Memory allocation" in out
+        assert "capture" in out  # pinned, listed as local
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["plan", "--app", "nope"])
+
+    def test_unknown_weights_exits(self):
+        with pytest.raises(SystemExit, match="weights"):
+            main(["plan", "--app", "photo_backup", "--weights", "vibes"])
+
+
+class TestRun:
+    def test_run_reports_metrics(self, capsys):
+        code = main(
+            [
+                "run", "--app", "nightly_analytics", "--jobs", "2",
+                "--seed", "2", "--slack", "3600",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs completed" in out
+        assert "deadline miss %" in out
+
+    @pytest.mark.parametrize("scheduler", ["eager", "edf", "batcher", "costwindow"])
+    def test_all_schedulers_run(self, scheduler, capsys):
+        code = main(
+            [
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--scheduler", scheduler, "--slack", "7200",
+            ]
+        )
+        assert code == 0
+
+    def test_with_storage_flag(self, capsys):
+        code = main(
+            [
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--with-storage", "--slack", "3600",
+            ]
+        )
+        assert code == 0
+
+    def test_deterministic_output(self, capsys):
+        argv = ["run", "--app", "photo_backup", "--jobs", "2", "--seed", "7"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestWorkloadReplay:
+    def test_run_from_trace_and_save_report(self, tmp_path, capsys):
+        from repro import Job, photo_backup_app
+        from repro.traces import load_report_summary, save_workload
+
+        trace = tmp_path / "trace.json"
+        jobs = [
+            Job(photo_backup_app(), input_mb=2.0, released_at=20.0 * i,
+                deadline=20.0 * i + 3600.0)
+            for i in range(3)
+        ]
+        save_workload(trace, jobs)
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "run", "--app", "photo_backup",
+                "--workload", str(trace),
+                "--save-report", str(report_path),
+            ]
+        )
+        assert code == 0
+        summary = load_report_summary(report_path)
+        assert summary["jobs_completed"] == 3
+
+    def test_trace_without_matching_app_exits(self, tmp_path):
+        from repro import Job, photo_backup_app
+        from repro.traces import save_workload
+
+        trace = tmp_path / "trace.json"
+        save_workload(trace, [Job(photo_backup_app(), input_mb=1.0)])
+        with pytest.raises(SystemExit, match="no jobs"):
+            main(["run", "--app", "ml_training", "--workload", str(trace)])
+
+
+class TestAnalyze:
+    def test_analyze_outputs_breakevens(self, capsys):
+        code = main(["analyze", "--app", "photo_backup"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Lint: clean." in out
+        assert "crossover" in out
+        assert "Edge breakeven" in out
+        assert "jobs/hour" in out
+
+    def test_analyze_all_catalog_apps(self, capsys):
+        from repro.apps.catalog import CATALOG
+
+        for name in CATALOG:
+            assert main(["analyze", "--app", name]) == 0
+
+
+class TestPipeline:
+    def test_pipeline_promotes(self, capsys):
+        code = main(
+            ["pipeline", "--app", "nightly_analytics", "--canary-jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROMOTED" in out
+        assert "deploy-canary" in out

@@ -1,0 +1,267 @@
+"""Tests for demand estimators (contribution C1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import photo_backup_app
+from repro.core.demand import (
+    DemandModel,
+    DemandProfile,
+    EwmaEstimator,
+    MeanEstimator,
+    QuantileEstimator,
+    RegressionEstimator,
+    StaticEstimator,
+)
+from repro.profiling import DemandObservation, Profiler
+from repro.sim.rng import RngStream
+
+
+def obs(component, input_mb, gcycles):
+    return DemandObservation(component, input_mb, gcycles)
+
+
+class TestDemandProfile:
+    def test_predict_affine(self):
+        profile = DemandProfile("c", base_gcycles=2.0, per_mb_gcycles=3.0)
+        assert profile.predict(4.0) == pytest.approx(14.0)
+
+    def test_predict_clamped_nonnegative(self):
+        profile = DemandProfile("c", base_gcycles=0.0, per_mb_gcycles=0.0)
+        assert profile.predict(10.0) == 0.0
+
+    def test_conservative_inflates(self):
+        profile = DemandProfile("c", 10.0, 0.0, uncertainty=0.1)
+        assert profile.conservative(0.0, sigmas=2.0) == pytest.approx(12.0)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            DemandProfile("c", 1.0, 0.0).predict(-1.0)
+
+
+class TestStaticEstimator:
+    def test_never_learns(self):
+        estimator = StaticEstimator("c", guess_gcycles=7.0)
+        estimator.observe(obs("c", 1.0, 100.0))
+        assert estimator.predict(1.0) == 7.0
+
+    def test_wrong_component_rejected(self):
+        estimator = StaticEstimator("c", 1.0)
+        with pytest.raises(ValueError):
+            estimator.observe(obs("other", 1.0, 1.0))
+
+
+class TestMeanEstimator:
+    def test_prior_before_data(self):
+        assert MeanEstimator("c", prior_gcycles=3.0).predict(1.0) == 3.0
+
+    def test_converges_to_mean(self):
+        estimator = MeanEstimator("c")
+        estimator.observe_all([obs("c", 1.0, v) for v in (2.0, 4.0, 6.0)])
+        assert estimator.predict(1.0) == pytest.approx(4.0)
+
+    def test_profile_reports_uncertainty(self):
+        estimator = MeanEstimator("c")
+        estimator.observe_all([obs("c", 1.0, v) for v in (2.0, 4.0, 6.0)])
+        profile = estimator.profile()
+        assert profile.uncertainty > 0
+        assert profile.observation_count == 3
+
+
+class TestEwmaEstimator:
+    def test_seeds_on_first_observation(self):
+        estimator = EwmaEstimator("c", alpha=0.5)
+        estimator.observe(obs("c", 1.0, 10.0))
+        assert estimator.predict(1.0) == 10.0
+
+    def test_tracks_drift_faster_than_mean(self):
+        """After a regime change, EWMA catches up; the mean lags."""
+        ewma = EwmaEstimator("c", alpha=0.3)
+        mean = MeanEstimator("c")
+        history = [10.0] * 20 + [30.0] * 10
+        for value in history:
+            observation = obs("c", 1.0, value)
+            ewma.observe(observation)
+            mean.observe(observation)
+        assert abs(ewma.predict(1.0) - 30.0) < abs(mean.predict(1.0) - 30.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator("c", alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator("c", alpha=1.5)
+
+
+class TestQuantileEstimator:
+    def test_upper_quantile_conservative(self):
+        estimator = QuantileEstimator("c", quantile=0.9)
+        estimator.observe_all([obs("c", 1.0, float(v)) for v in range(1, 11)])
+        assert estimator.predict(1.0) > 8.0
+
+    def test_median(self):
+        estimator = QuantileEstimator("c", quantile=0.5)
+        estimator.observe_all([obs("c", 1.0, v) for v in (1.0, 2.0, 9.0)])
+        assert estimator.predict(1.0) == pytest.approx(2.0)
+
+    def test_prior_before_data(self):
+        assert QuantileEstimator("c", prior_gcycles=5.0).predict(1.0) == 5.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            QuantileEstimator("c", quantile=0.0)
+
+
+class TestRegressionEstimator:
+    def test_exact_fit_on_noiseless_affine_data(self):
+        estimator = RegressionEstimator("c")
+        for x in (1.0, 2.0, 5.0, 10.0):
+            estimator.observe(obs("c", x, 3.0 + 2.0 * x))
+        assert estimator.predict(7.0) == pytest.approx(17.0, rel=1e-9)
+        profile = estimator.profile()
+        assert profile.base_gcycles == pytest.approx(3.0, abs=1e-9)
+        assert profile.per_mb_gcycles == pytest.approx(2.0, abs=1e-9)
+        assert profile.uncertainty == pytest.approx(0.0, abs=1e-6)
+
+    def test_falls_back_to_mean_when_inputs_identical(self):
+        estimator = RegressionEstimator("c")
+        estimator.observe_all([obs("c", 2.0, v) for v in (4.0, 6.0)])
+        assert estimator.predict(2.0) == pytest.approx(5.0)
+        assert estimator.predict(100.0) == pytest.approx(5.0)
+
+    def test_prior_before_data(self):
+        assert RegressionEstimator("c", prior_gcycles=9.0).predict(5.0) == 9.0
+
+    def test_slope_clamped_nonnegative(self):
+        estimator = RegressionEstimator("c")
+        # Decreasing demand with input (nonphysical): slope clamps to 0.
+        estimator.observe_all([obs("c", x, 10.0 - x) for x in (1.0, 2.0, 3.0)])
+        assert estimator.profile().per_mb_gcycles == 0.0
+
+    @given(
+        base=st.floats(min_value=0.1, max_value=50.0),
+        slope=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recovers_any_affine_model(self, base, slope):
+        estimator = RegressionEstimator("c")
+        for x in (0.5, 1.0, 2.0, 4.0, 8.0):
+            estimator.observe(obs("c", x, base + slope * x))
+        assert estimator.predict(3.0) == pytest.approx(base + slope * 3.0, rel=1e-6)
+
+
+class TestBayesianLinearEstimator:
+    def make(self, **kwargs):
+        from repro.core.demand import BayesianLinearEstimator
+
+        return BayesianLinearEstimator("c", **kwargs)
+
+    def test_prior_before_data(self):
+        estimator = self.make(prior_base_gcycles=4.0, prior_slope=1.0)
+        assert estimator.predict(2.0) == pytest.approx(6.0, rel=1e-6)
+
+    def test_converges_to_true_affine_model(self):
+        estimator = self.make(noise_std=0.1)
+        for x in (0.5, 1.0, 2.0, 4.0, 8.0) * 4:
+            estimator.observe(obs("c", x, 3.0 + 2.0 * x))
+        assert estimator.predict(6.0) == pytest.approx(15.0, rel=0.02)
+
+    def test_uncertainty_shrinks_with_data(self):
+        estimator = self.make()
+        before = estimator.predictive_std(3.0)
+        for x in (1.0, 2.0, 4.0) * 5:
+            estimator.observe(obs("c", x, 5.0 + x))
+        after = estimator.predictive_std(3.0)
+        assert after < before
+
+    def test_extrapolation_is_less_certain(self):
+        estimator = self.make()
+        for x in (1.0, 2.0, 3.0) * 3:
+            estimator.observe(obs("c", x, 5.0 + x))
+        inside = estimator.predictive_std(2.0)
+        outside = estimator.predictive_std(50.0)
+        assert outside > inside
+
+    def test_credible_upper_bounds_mean(self):
+        estimator = self.make()
+        estimator.observe(obs("c", 1.0, 5.0))
+        assert estimator.credible_upper(1.0) > estimator.predict(1.0)
+
+    def test_credible_upper_covers_noisy_truth(self):
+        """With enough data, the 3-sigma bound covers nearly all draws."""
+        from repro.sim.rng import RngStream
+
+        rng = RngStream(13)
+        estimator = self.make(noise_std=1.0)
+        truth = lambda x: 4.0 + 2.0 * x
+        for _ in range(60):
+            x = rng.uniform(0.5, 5.0)
+            estimator.observe(obs("c", x, truth(x) + rng.normal(0.0, 1.0)))
+        covered = 0
+        for _ in range(100):
+            x = rng.uniform(0.5, 5.0)
+            draw = truth(x) + rng.normal(0.0, 1.0)
+            if draw <= estimator.credible_upper(x, sigmas=3.0):
+                covered += 1
+        assert covered >= 97
+
+    def test_profile_exports_uncertainty(self):
+        estimator = self.make()
+        estimator.observe(obs("c", 1.0, 5.0))
+        profile = estimator.profile()
+        assert profile.uncertainty > 0
+        assert profile.observation_count == 1
+
+    def test_validation(self):
+        from repro.core.demand import BayesianLinearEstimator
+
+        with pytest.raises(ValueError):
+            BayesianLinearEstimator("c", prior_std=0.0)
+        with pytest.raises(ValueError):
+            BayesianLinearEstimator("c", noise_std=-1.0)
+
+    def test_works_as_demand_model_factory(self):
+        from repro.core.demand import BayesianLinearEstimator
+
+        app = photo_backup_app()
+        model = DemandModel(app, BayesianLinearEstimator, noise_std=0.3)
+        profiler = Profiler(RngStream(0), noise_sigma=0.05)
+        model.observe_profile(profiler.profile(app, [1.0, 2.0, 5.0], 3))
+        assert model.mean_relative_error(3.0) < 0.2
+
+
+class TestDemandModel:
+    def test_routes_observations(self):
+        app = photo_backup_app()
+        model = DemandModel(app)
+        model.observe(obs("transcode", 1.0, 5.0))
+        assert model.estimators["transcode"].observation_count == 1
+        assert model.estimators["thumbnail"].observation_count == 0
+
+    def test_unknown_component_rejected(self):
+        model = DemandModel(photo_backup_app())
+        with pytest.raises(KeyError):
+            model.observe(obs("ghost", 1.0, 1.0))
+
+    def test_profiler_training_reduces_error(self):
+        app = photo_backup_app()
+        trained = DemandModel(app)
+        profiler = Profiler(RngStream(0), noise_sigma=0.05)
+        trained.observe_profile(profiler.profile(app, [0.5, 1, 2, 5, 10], 3))
+
+        untrained = DemandModel(app)
+        assert trained.mean_relative_error(4.0) < untrained.mean_relative_error(4.0)
+        assert trained.mean_relative_error(4.0) < 0.15
+
+    def test_profiles_export(self):
+        app = photo_backup_app()
+        model = DemandModel(app)
+        profiles = model.profiles()
+        assert set(profiles) == set(app.component_names)
+
+    def test_custom_estimator_factory(self):
+        app = photo_backup_app()
+        model = DemandModel(app, EwmaEstimator, alpha=0.5)
+        assert all(
+            isinstance(e, EwmaEstimator) for e in model.estimators.values()
+        )

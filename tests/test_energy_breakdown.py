@@ -1,0 +1,75 @@
+"""Tests for per-activity energy breakdowns in job results."""
+
+import pytest
+
+from repro import Environment, Job, OffloadController, photo_backup_app
+from repro.apps import nightly_analytics_app
+from repro.baselines import EdgeEnvironment, EdgeJobRunner, local_only_controller
+from repro.core.partitioning import FixedPartitioner, Partition
+from repro.core.workflow_runner import WorkflowOffloadRunner
+
+
+def assert_breakdown_consistent(result):
+    assert result.breakdown_total() == pytest.approx(result.ue_energy_j)
+    assert all(v >= 0 for v in result.energy_breakdown.values())
+
+
+class TestControllerBreakdown:
+    def test_sums_to_total(self):
+        env = Environment.build(seed=1)
+        controller = OffloadController(env, photo_backup_app())
+        controller.profile_offline()
+        controller.plan(input_mb=4.0)
+        report = controller.run_workload(
+            [Job(controller.app, input_mb=4.0, deadline=3600.0)]
+        )
+        result = report.results[0]
+        assert_breakdown_consistent(result)
+        # An offloaded run has all four activities.
+        assert set(result.energy_breakdown) == {"compute", "tx", "rx", "idle"}
+
+    def test_local_only_is_pure_compute(self):
+        env = Environment.build(seed=2)
+        controller = local_only_controller(env, photo_backup_app())
+        report = controller.run_workload([Job(controller.app, input_mb=2.0)])
+        result = report.results[0]
+        assert_breakdown_consistent(result)
+        assert set(result.energy_breakdown) == {"compute"}
+
+    def test_offloaded_dominated_by_radio_not_compute(self):
+        """Full offload on 3G: the radio, not the CPU, is the UE's cost."""
+        env = Environment.build(seed=3, connectivity="3g")
+        app = photo_backup_app()
+        controller = OffloadController(
+            env, app, partitioner=FixedPartitioner(Partition.full_offload(app))
+        )
+        controller.plan(input_mb=8.0)
+        report = controller.run_workload([Job(app, input_mb=8.0)])
+        breakdown = report.results[0].energy_breakdown
+        assert breakdown["tx"] > breakdown["compute"]
+
+
+class TestWorkflowBreakdown:
+    def test_deep_sleep_key_present(self):
+        env = Environment.build(seed=4)
+        app = nightly_analytics_app()
+        runner = WorkflowOffloadRunner(env, app, Partition.full_offload(app))
+        report = runner.run_workload([Job(app, input_mb=4.0)])
+        result = report.results[0]
+        assert_breakdown_consistent(result)
+        assert "sleep" in result.energy_breakdown
+        assert "idle" not in result.energy_breakdown
+        # Deep sleep is cheaper than the equivalent idle would have been.
+        sleep = result.energy_breakdown["sleep"]
+        model = env.ue.spec.energy
+        assert sleep < model.idle_w / model.deep_sleep_w * sleep
+
+
+class TestEdgeBreakdown:
+    def test_sums_and_keys(self):
+        env = EdgeEnvironment.build(seed=5)
+        runner = EdgeJobRunner(env, photo_backup_app())
+        report = runner.run_workload([Job(runner.app, input_mb=3.0)])
+        result = report.results[0]
+        assert_breakdown_consistent(result)
+        assert {"compute", "tx", "idle"} <= set(result.energy_breakdown)

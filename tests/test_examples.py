@@ -1,0 +1,46 @@
+"""Regression tests: every example script must run clean.
+
+Examples are documentation that executes; breaking one silently is how
+quickstarts rot.  Each script runs in a subprocess with a generous
+timeout and must exit 0 with its headline output present.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "Completed 10 jobs"),
+    ("photo_backup.py", "Overnight photo backup"),
+    ("nightly_analytics.py", "cost-window"),
+    ("cicd_pipeline.py", "PROMOTED"),
+    ("fleet_nightly.py", "Fleet run"),
+    ("low_battery_day.py", "frugal"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES)
+def test_example_runs_clean(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout, (
+        f"{script} output missing {expected!r}:\n{completed.stdout[-2000:]}"
+    )
+
+
+def test_all_examples_covered():
+    """Every script in examples/ has a regression case above."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert scripts == covered, scripts.symmetric_difference(covered)

@@ -1,0 +1,169 @@
+"""Tests for the multi-device fleet layer."""
+
+import pytest
+
+from repro import Job, photo_backup_app
+from repro.apps import nightly_analytics_app
+from repro.core.scheduler import DeadlineBatcher
+from repro.fleet import FleetController, FleetEnvironment
+from repro.serverless.platform import PlatformConfig
+
+
+def make_fleet(n=4, seed=1, connectivity="4g", app=None, **controller_kwargs):
+    env = FleetEnvironment.build(n_devices=n, seed=seed, connectivity=connectivity)
+    fleet = FleetController(env, app or photo_backup_app(), **controller_kwargs)
+    fleet.profile_offline()
+    fleet.plan(input_mb=3.0)
+    return env, fleet
+
+
+def staggered_jobs(fleet, n_devices, per_device=2, spacing=45.0, slack=3600.0):
+    return {
+        device: [
+            Job(
+                fleet.app,
+                input_mb=3.0,
+                released_at=spacing * (device + n_devices * k),
+                deadline=spacing * (device + n_devices * k) + slack,
+            )
+            for k in range(per_device)
+        ]
+        for device in range(n_devices)
+    }
+
+
+class TestFleetEnvironment:
+    def test_build_shapes(self):
+        env = FleetEnvironment.build(n_devices=3, seed=0)
+        assert len(env) == 3
+        names = {device.ue.spec.name for device in env.devices}
+        assert names == {"ue0", "ue1", "ue2"}
+        # One shared platform and simulator.
+        assert all(d.platform is env.platform for d in env.devices)
+        assert all(d.sim is env.sim for d in env.devices)
+
+    def test_mixed_connectivity_cycles(self):
+        env = FleetEnvironment.build(
+            n_devices=4, seed=0, connectivity=["wifi", "3g"]
+        )
+        rates = [d.uplink.bottleneck_rate() for d in env.devices]
+        assert rates[0] == rates[2] > rates[1] == rates[3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetEnvironment.build(n_devices=0)
+
+    def test_custom_device_spec_preserved(self):
+        from repro.device.ue import DeviceSpec
+
+        spec = DeviceSpec(
+            cycles_per_second=2.0e9,
+            frequency_steps=(0.5, 1.0),
+            battery_capacity_j=1234.0,
+        )
+        env = FleetEnvironment.build(n_devices=2, seed=0, device=spec)
+        for index, device in enumerate(env.devices):
+            assert device.ue.spec.name == f"ue{index}"
+            assert device.ue.spec.cycles_per_second == 2.0e9
+            assert device.ue.spec.frequency_steps == (0.5, 1.0)
+            assert device.ue.spec.battery_capacity_j == 1234.0
+
+    def test_storage_shared(self):
+        env = FleetEnvironment.build(n_devices=2, seed=0, with_storage=True)
+        assert env.devices[0].storage is env.devices[1].storage
+
+
+class TestFleetController:
+    def test_all_jobs_complete(self):
+        env, fleet = make_fleet(n=4)
+        report = fleet.run(staggered_jobs(fleet, 4))
+        assert report.jobs_completed == 8
+        assert report.failures == 0
+        assert report.deadline_miss_rate == 0.0
+        assert set(report.per_device) == {0, 1, 2, 3}
+
+    def test_shared_demand_model(self):
+        _env, fleet = make_fleet(n=3)
+        models = {id(c.demand) for c in fleet.controllers}
+        assert len(models) == 1
+
+    def test_shared_functions_share_warm_pools(self):
+        """Device B's invocation right after device A's lands warm."""
+        env = FleetEnvironment.build(
+            n_devices=2, seed=2,
+            platform_config=PlatformConfig(keep_alive_s=600.0),
+        )
+        fleet = FleetController(env, photo_backup_app())
+        fleet.profile_offline()
+        fleet.plan(input_mb=3.0)
+        jobs = {
+            0: [Job(fleet.app, input_mb=3.0, released_at=0.0, deadline=3600.0)],
+            1: [Job(fleet.app, input_mb=3.0, released_at=120.0, deadline=3720.0)],
+        }
+        fleet.run(jobs)
+        # The second device's invocations all reuse the first's pools.
+        per_function = {}
+        for record in env.platform.invocations:
+            per_function.setdefault(record.request.function, []).append(record)
+        for records in per_function.values():
+            later = [r for r in records if r.submitted_at > 60.0]
+            assert all(not r.cold_start for r in later)
+
+    def test_unknown_device_rejected(self):
+        _env, fleet = make_fleet(n=2)
+        with pytest.raises(IndexError):
+            fleet.run({5: [Job(fleet.app)]})
+
+    def test_per_device_energy_separate(self):
+        env, fleet = make_fleet(n=2)
+        report = fleet.run(staggered_jobs(fleet, 2))
+        for device_index, device_report in report.per_device.items():
+            assert device_report.total_ue_energy_j > 0
+        # Battery drain happened on each device independently.
+        assert env.devices[0].ue.battery_level_j < env.devices[0].ue.spec.battery_capacity_j
+        assert env.devices[1].ue.battery_level_j < env.devices[1].ue.spec.battery_capacity_j
+
+    def test_scheduler_factory_applied(self):
+        _env, fleet = make_fleet(
+            n=2, scheduler_factory=lambda: DeadlineBatcher(window_s=100.0)
+        )
+        schedulers = [c.scheduler for c in fleet.controllers]
+        assert all(isinstance(s, DeadlineBatcher) for s in schedulers)
+        assert schedulers[0] is not schedulers[1]
+
+    def test_empty_report_stats(self):
+        from repro.fleet import FleetReport
+        import math
+
+        report = FleetReport()
+        assert report.jobs_completed == 0
+        assert report.deadline_miss_rate == 0.0
+        assert math.isnan(report.mean_response_s)
+
+
+class TestFleetEconomics:
+    def test_density_reduces_cold_fraction(self):
+        """More devices on the same functions => warmer pools."""
+        def cold_fraction(n_devices):
+            env = FleetEnvironment.build(
+                n_devices=n_devices, seed=3,
+                platform_config=PlatformConfig(keep_alive_s=150.0),
+            )
+            fleet = FleetController(env, nightly_analytics_app())
+            fleet.profile_offline()
+            fleet.plan(input_mb=3.0)
+            # One job per device, spread over a fixed 2-hour window: more
+            # devices = shorter gaps between invocations.
+            window = 7200.0
+            jobs = {
+                i: [Job(fleet.app, input_mb=3.0,
+                        released_at=window * i / n_devices,
+                        deadline=window * i / n_devices + 3600.0)]
+                for i in range(n_devices)
+            }
+            fleet.run(jobs)
+            return env.platform.cold_start_fraction()
+
+        sparse = cold_fraction(6)
+        dense = cold_fraction(72)
+        assert dense < sparse

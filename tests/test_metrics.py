@@ -1,0 +1,229 @@
+"""Tests for metric collectors and table rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    Summary,
+    Table,
+    TimeWeightedAverage,
+    render_table,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_increments(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g", initial=10.0)
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+
+
+class TestSummary:
+    def test_empty_stats_are_nan(self):
+        summary = Summary("s")
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.quantile(0.5))
+        assert math.isnan(summary.stddev)
+
+    def test_basic_stats(self):
+        summary = Summary("s")
+        summary.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.total == 10.0
+
+    def test_median_interpolation(self):
+        summary = Summary("s")
+        summary.observe_many([1.0, 2.0, 3.0, 10.0])
+        assert summary.quantile(0.5) == 2.5
+
+    def test_extreme_quantiles(self):
+        summary = Summary("s")
+        summary.observe_many([5.0, 1.0, 3.0])
+        assert summary.quantile(0.0) == 1.0
+        assert summary.quantile(1.0) == 5.0
+
+    def test_percentile_alias(self):
+        summary = Summary("s")
+        summary.observe_many(range(101))
+        assert summary.percentile(99) == 99.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Summary("s").quantile(1.5)
+
+    def test_single_sample(self):
+        summary = Summary("s")
+        summary.observe(7.0)
+        assert summary.quantile(0.3) == 7.0
+        assert summary.stddev == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_quantiles_bounded_by_extremes(self, values):
+        summary = Summary("s")
+        summary.observe_many(values)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            quantile = summary.quantile(q)
+            assert min(values) - 1e-9 <= quantile <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone_in_q(self, values):
+        summary = Summary("s")
+        summary.observe_many(values)
+        quantiles = [summary.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a <= b + 1e-9 for a, b in zip(quantiles, quantiles[1:]))
+
+
+class TestTimeWeightedAverage:
+    def test_constant_signal(self):
+        twa = TimeWeightedAverage("t", initial=5.0)
+        twa.update(10.0, 5.0)
+        assert twa.average() == 5.0
+
+    def test_step_signal(self):
+        twa = TimeWeightedAverage("t", initial=0.0)
+        twa.update(5.0, 10.0)  # 0 for 5s
+        twa.update(10.0, 0.0)  # 10 for 5s
+        assert twa.average() == 5.0
+
+    def test_average_extends_to_now(self):
+        twa = TimeWeightedAverage("t", initial=2.0)
+        twa.update(2.0, 4.0)
+        assert twa.average(now=4.0) == pytest.approx(3.0)
+
+    def test_time_backwards_rejected(self):
+        twa = TimeWeightedAverage("t")
+        twa.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            twa.update(4.0, 1.0)
+
+    def test_no_elapsed_returns_current(self):
+        twa = TimeWeightedAverage("t", initial=7.0)
+        assert twa.average() == 7.0
+
+
+class TestMetricRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.summary("y") is registry.summary("y")
+
+    def test_snapshot_flattens(self):
+        registry = MetricRegistry()
+        registry.counter("jobs").increment(3)
+        registry.gauge("level").set(0.5)
+        registry.summary("lat").observe_many([1.0, 2.0])
+        snap = registry.snapshot()
+        assert snap["jobs"] == 3
+        assert snap["level"] == 0.5
+        assert snap["lat.count"] == 2
+        assert snap["lat.mean"] == 1.5
+
+    def test_names_sorted(self):
+        registry = MetricRegistry()
+        registry.counter("z")
+        registry.gauge("a")
+        assert registry.names() == ["a", "z"]
+
+
+class TestTable:
+    def test_positional_rows(self):
+        table = Table(["name", "value"])
+        table.add_row("a", 1.5)
+        rendered = table.render()
+        assert "name" in rendered and "1.500" in rendered
+
+    def test_named_rows(self):
+        table = Table(["x", "y"])
+        table.add_row(y=2, x=1)
+        assert table.rows == [[1, 2]]
+
+    def test_mixed_rows_rejected(self):
+        table = Table(["x"])
+        with pytest.raises(ValueError):
+            table.add_row(1, x=1)
+
+    def test_unknown_column_rejected(self):
+        table = Table(["x"])
+        with pytest.raises(KeyError):
+            table.add_row(z=1)
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["x", "y"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table(["x", "y"])
+        table.add_row(1, "a")
+        table.add_row(2, "b")
+        assert table.column("y") == ["a", "b"]
+
+    def test_special_values(self):
+        table = Table(["v"])
+        for value in (None, True, False, math.nan, math.inf, 1e-9):
+            table.add_row(value)
+        rendered = table.render()
+        for expected in ("-", "yes", "no", "nan", "inf"):
+            assert expected in rendered
+
+    def test_title_rendered(self):
+        table = Table(["x"], title="T9: results")
+        table.add_row(1)
+        assert table.render().startswith("T9: results")
+
+    def test_render_table_helper(self):
+        out = render_table(["a"], [[1], [2]])
+        assert out.count("\n") == 3  # header, rule, two rows
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_to_csv(self):
+        table = Table(["name", "value"])
+        table.add_row("a,b", 1.5)
+        table.add_row(None, 2)
+        csv_text = table.to_csv()
+        lines = csv_text.strip().split("\n")
+        assert lines[0] == "name,value"
+        assert lines[1] == '"a,b",1.5'
+        assert lines[2] == ",2"
+
+    def test_to_records(self):
+        table = Table(["x", "y"])
+        table.add_row(1, "a")
+        assert table.to_records() == [{"x": 1, "y": "a"}]
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        table = Table(["x"])
+        table.add_row(42)
+        path = tmp_path / "out.csv"
+        table.save_csv(path)
+        assert path.read_text() == "x\n42\n"

@@ -1,0 +1,83 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.metrics import ascii_bars, ascii_line
+
+
+class TestAsciiBars:
+    def test_basic_render(self):
+        out = ascii_bars(["a", "bb"], [10.0, 5.0], width=10)
+        lines = out.split("\n")
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert "10" in lines[0]
+        # The max bar fills the width; the half bar is half of it.
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_and_unit(self):
+        out = ascii_bars(["x"], [1.0], title="T", unit=" J")
+        assert out.startswith("T\n")
+        assert out.endswith("1 J")
+
+    def test_zero_values_render_empty(self):
+        out = ascii_bars(["a", "b"], [0.0, 0.0], width=8)
+        assert "█" not in out
+
+    def test_half_block_rounding(self):
+        out = ascii_bars(["a", "b"], [10.0, 7.5], width=10)
+        assert "▌" in out.split("\n")[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bars([], [])
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0], width=2)
+
+
+class TestAsciiLine:
+    def test_grid_shape(self):
+        out = ascii_line([0, 1, 2], [0.0, 5.0, 10.0], width=20, height=5)
+        lines = out.split("\n")
+        assert len(lines) == 5 + 2  # grid + axis + x labels
+        assert all("|" in line for line in lines[:5])
+
+    def test_extremes_labelled(self):
+        out = ascii_line([0, 1], [3.0, 9.0], width=10, height=4)
+        assert "9" in out.split("\n")[0]
+        assert "3" in out.split("\n")[3]
+
+    def test_monotone_series_descends_visually(self):
+        out = ascii_line([0, 1, 2, 3], [10.0, 7.0, 4.0, 1.0], width=16, height=8)
+        lines = out.split("\n")
+        first_dot_rows = []
+        for col in range(len(lines[0])):
+            for row, line in enumerate(lines[:8]):
+                if col < len(line) and line[col] == "•":
+                    first_dot_rows.append(row)
+                    break
+        assert first_dot_rows == sorted(first_dot_rows)
+
+    def test_log_x(self):
+        out = ascii_line([1, 10, 100], [1.0, 2.0, 3.0], log_x=True,
+                         width=21, height=3)
+        # Log spacing puts the middle point mid-grid.
+        dot_cols = [line.index("•") for line in out.split("\n")[:3] if "•" in line]
+        assert any(7 <= c - out.split("\n")[0].index("|") <= 15 for c in dot_cols)
+
+    def test_flat_series(self):
+        out = ascii_line([0, 1], [5.0, 5.0], width=10, height=3)
+        assert "•" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line([1], [1.0])
+        with pytest.raises(ValueError):
+            ascii_line([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            ascii_line([0, 1], [1.0, 2.0], log_x=True)
+        with pytest.raises(ValueError):
+            ascii_line([1, 2], [1.0, 2.0], width=4)

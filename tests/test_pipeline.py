@@ -1,0 +1,161 @@
+"""Tests for the CI/CD offload pipeline (contribution C4)."""
+
+import pytest
+
+from repro import Environment
+from repro.apps import nightly_analytics_app
+from repro.apps.graph import Component
+from repro.cicd import SourceRepository
+from repro.core.pipeline import OffloadPipeline, PipelineConfig
+
+
+def make_pipeline(seed=0, config=None, app=None):
+    env = Environment.build(seed=seed, connectivity="4g")
+    app = app or nightly_analytics_app()
+    repo = SourceRepository("analytics", app)
+    return OffloadPipeline(
+        env, repo, config=config or PipelineConfig(canary_jobs=2)
+    )
+
+
+EXPECTED_STAGES = [
+    "checkout",
+    "build",
+    "test",
+    "profile",
+    "partition",
+    "allocate",
+    "deploy-canary",
+    "canary",
+    "promote",
+]
+
+
+class TestHappyPath:
+    def test_first_run_promotes(self):
+        pipeline = make_pipeline()
+        run = pipeline.run_to_completion()
+        assert run.ok
+        assert run.promoted
+        assert [s.name for s in run.stages] == EXPECTED_STAGES
+        assert pipeline.production_revision == run.revision
+        assert pipeline.production_baseline is not None
+
+    def test_partition_and_allocation_recorded(self):
+        pipeline = make_pipeline()
+        run = pipeline.run_to_completion()
+        assert run.partition is not None
+        assert set(run.allocation) == set(run.partition.cloud)
+        assert run.canary_mean_response_s > 0
+        assert run.canary_mean_cost_usd >= 0
+
+    def test_canary_functions_deployed_in_namespace(self):
+        pipeline = make_pipeline()
+        run = pipeline.run_to_completion()
+        platform = pipeline.env.platform
+        for component in run.partition.cloud:
+            assert platform.is_deployed(f"canary.nightly_analytics.{component}")
+
+    def test_stage_lookup(self):
+        run = make_pipeline().run_to_completion()
+        assert run.stage("build").duration_s > 0
+        with pytest.raises(KeyError):
+            run.stage("ghost")
+
+    def test_total_duration_positive(self):
+        run = make_pipeline().run_to_completion()
+        assert run.total_duration_s > 0
+        assert run.stage("profile").duration_s > 0
+
+
+class TestRegressionGate:
+    def test_regression_abandoned(self):
+        pipeline = make_pipeline()
+        good = pipeline.run_to_completion()
+        assert good.promoted
+
+        app = pipeline.repo.head.app
+        bad = app.with_component(
+            Component(
+                "aggregate",
+                work_gcycles=60.0,
+                work_gcycles_per_mb=80.0,
+                parallel_fraction=0.85,
+                package_mb=80,
+            )
+        )
+        pipeline.repo.commit(bad, "10x regression")
+        run = pipeline.run_to_completion()
+        assert not run.promoted
+        assert run.stages[-1].name == "abandon"
+        assert pipeline.production_revision == good.revision
+
+    def test_equivalent_revision_promotes(self):
+        pipeline = make_pipeline()
+        first = pipeline.run_to_completion()
+        app = pipeline.repo.head.app
+        # A near-identical revision: +1% work on one light component.
+        report = app.component("report")
+        from dataclasses import replace
+
+        same = app.with_component(
+            replace(report, work_gcycles=report.work_gcycles * 1.01)
+        )
+        pipeline.repo.commit(same, "minor change")
+        second = pipeline.run_to_completion()
+        assert second.promoted
+        assert pipeline.production_revision == second.revision != first.revision
+
+    def test_threshold_controls_sensitivity(self):
+        """With an enormous threshold even a big regression promotes."""
+        pipeline = make_pipeline(
+            config=PipelineConfig(canary_jobs=2, regression_threshold=100.0)
+        )
+        pipeline.run_to_completion()
+        app = pipeline.repo.head.app
+        bad = app.with_component(
+            Component(
+                "aggregate", work_gcycles=60.0, work_gcycles_per_mb=80.0,
+                parallel_fraction=0.85, package_mb=80,
+            )
+        )
+        pipeline.repo.commit(bad, "regression")
+        run = pipeline.run_to_completion()
+        assert run.promoted
+
+
+class TestConventionalMode:
+    def test_offload_stages_skipped(self):
+        pipeline = make_pipeline(
+            config=PipelineConfig(canary_jobs=1, offload_stages_enabled=False)
+        )
+        run = pipeline.run_to_completion()
+        assert [s.name for s in run.stages] == ["checkout", "build", "test"]
+        assert run.promoted
+        assert run.partition is None
+
+    def test_offload_overhead_is_bounded(self):
+        """The offloading stages must not blow up pipeline duration by
+        more than ~10x over the plain build+test flow."""
+        with_offload = make_pipeline(seed=1).run_to_completion()
+        without = make_pipeline(
+            seed=1,
+            config=PipelineConfig(canary_jobs=2, offload_stages_enabled=False),
+        ).run_to_completion()
+        assert with_offload.total_duration_s < 10 * without.total_duration_s
+
+
+class TestConfigValidation:
+    def test_canary_jobs_positive(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(canary_jobs=0)
+
+    def test_threshold_nonnegative(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(regression_threshold=-0.1)
+
+    def test_run_specific_revision(self):
+        pipeline = make_pipeline()
+        revision = pipeline.repo.head.revision
+        run = pipeline.run_to_completion(revision)
+        assert run.revision == revision

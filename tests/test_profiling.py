@@ -1,0 +1,89 @@
+"""Tests for the profiling substrate."""
+
+import pytest
+
+from repro.apps import photo_backup_app
+from repro.apps.graph import Component
+from repro.profiling import DemandObservation, OnlineProfiler, Profiler
+from repro.sim.rng import RngStream
+
+
+class TestDemandObservation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandObservation("c", input_mb=-1.0, measured_gcycles=1.0)
+        with pytest.raises(ValueError):
+            DemandObservation("c", input_mb=1.0, measured_gcycles=-1.0)
+
+
+class TestProfiler:
+    def test_noiseless_measurement_is_exact(self):
+        profiler = Profiler(RngStream(0), noise_sigma=0.0)
+        component = Component("x", work_gcycles=2.0, work_gcycles_per_mb=3.0)
+        observation = profiler.measure(component, input_mb=4.0)
+        assert observation.measured_gcycles == pytest.approx(14.0)
+
+    def test_noise_perturbs_but_bounded(self):
+        profiler = Profiler(RngStream(1), noise_sigma=0.2)
+        component = Component("x", work_gcycles=10.0)
+        draws = [profiler.measure(component, 1.0).measured_gcycles for _ in range(50)]
+        assert len(set(draws)) > 1
+        for draw in draws:
+            assert 2.0 <= draw <= 50.0  # clipped to [0.2x, 5x]
+
+    def test_profile_covers_all_components(self):
+        app = photo_backup_app()
+        profiler = Profiler(RngStream(2))
+        observations = profiler.profile(app, [1.0, 2.0], repetitions=3)
+        assert set(observations) == set(app.component_names)
+        for rows in observations.values():
+            assert len(rows) == 6
+
+    def test_profile_validation(self):
+        profiler = Profiler(RngStream(0))
+        app = photo_backup_app()
+        with pytest.raises(ValueError):
+            profiler.profile(app, [], repetitions=1)
+        with pytest.raises(ValueError):
+            profiler.profile(app, [1.0], repetitions=0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(RngStream(0), noise_sigma=-0.1)
+
+    def test_deterministic_given_stream(self):
+        app = photo_backup_app()
+        a = Profiler(RngStream(5)).profile(app, [1.0], repetitions=2)
+        b = Profiler(RngStream(5)).profile(app, [1.0], repetitions=2)
+        for name in a:
+            assert [o.measured_gcycles for o in a[name]] == [
+                o.measured_gcycles for o in b[name]
+            ]
+
+
+class TestOnlineProfiler:
+    def test_records_flow_to_sink(self):
+        received = []
+        profiler = OnlineProfiler(received.append, rng=None, noise_sigma=0.0)
+        component = Component("x", work_gcycles=5.0)
+        profiler.record(component, input_mb=1.0, at_time=42.0)
+        assert len(received) == 1
+        assert received[0].component == "x"
+        assert received[0].measured_gcycles == pytest.approx(5.0)
+        assert received[0].at_time == 42.0
+        assert profiler.observation_count == 1
+
+    def test_noise_applied_when_rng_given(self):
+        received = []
+        profiler = OnlineProfiler(
+            received.append, rng=RngStream(3), noise_sigma=0.3
+        )
+        component = Component("x", work_gcycles=5.0)
+        for _ in range(10):
+            profiler.record(component, 1.0, 0.0)
+        values = {o.measured_gcycles for o in received}
+        assert len(values) > 1
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineProfiler(lambda o: None, noise_sigma=-1.0)

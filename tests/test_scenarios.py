@@ -1,0 +1,205 @@
+"""End-to-end scenario tests composing several features at once.
+
+Where test_integration.py checks pairwise interactions, these scenarios
+run the kind of multi-feature configurations a real deployment would:
+storage-staged fleets under failures, multi-revision pipelines with
+drifting demand, and the full frugal-device stack.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro import (
+    DeadlineBatcher,
+    Environment,
+    Job,
+    ObjectiveWeights,
+    OffloadController,
+    photo_backup_app,
+)
+from repro.apps import document_ocr_app, nightly_analytics_app
+from repro.cicd import SourceRepository
+from repro.core.pipeline import OffloadPipeline, PipelineConfig
+from repro.core.scheduler import BatteryAwareScheduler
+from repro.device.ue import DeviceSpec
+from repro.fleet import FleetController, FleetEnvironment
+from repro.serverless import PlatformConfig, RetryPolicy
+from repro.storage import StoragePricing
+
+
+class TestStorageFleetUnderFailures:
+    def test_fleet_with_storage_and_failures_completes(self):
+        """12 devices, staged data plane, 5% transient failure rate:
+        everything completes, the store drains, the bill adds up."""
+        env = FleetEnvironment.build(
+            n_devices=12,
+            seed=31,
+            connectivity=["4g", "wifi"],
+            with_storage=True,
+            platform_config=PlatformConfig(
+                keep_alive_s=300.0, failure_probability=0.05
+            ),
+        )
+        fleet = FleetController(env, nightly_analytics_app())
+        fleet.profile_offline()
+        fleet.plan(input_mb=5.0)
+        jobs = {
+            i: [Job(fleet.app, input_mb=5.0, released_at=120.0 * i,
+                    deadline=120.0 * i + 7200.0)]
+            for i in range(12)
+        }
+        report = fleet.run(jobs)
+        assert report.jobs_completed == 12
+        assert report.deadline_miss_rate == 0.0
+        # The staged data plane was used and fully drained.
+        storage = env.devices[0].storage
+        assert storage.metrics.counter("store.puts").value > 0
+        assert len(storage) == 0
+        # Job-side cost accounting covers invocations (incl. failed
+        # attempts) plus data-plane fees; it must not be below the
+        # platform's own invoice.
+        assert report.total_cloud_cost_usd >= env.platform.total_cost - 1e-9
+
+
+class TestPipelineAcrossDriftingRevisions:
+    def test_five_revisions_gate_correctly(self):
+        """A revision history with two regressions (one big, one slow
+        creep) and two honest improvements: the gate admits improvements
+        and blocks only the big regression — the creep slips under the
+        25% threshold, which is the documented trade of canary gating."""
+        env = Environment.build(seed=32)
+        app = nightly_analytics_app()
+        repo = SourceRepository("analytics", app)
+        pipeline = OffloadPipeline(
+            env, repo, config=PipelineConfig(canary_jobs=3)
+        )
+        outcomes = [pipeline.run_to_completion().promoted]
+
+        aggregate = app.component("aggregate")
+
+        def scaled(factor, base):
+            return base.with_component(
+                replace(
+                    base.component("aggregate"),
+                    work_gcycles=aggregate.work_gcycles * factor,
+                    work_gcycles_per_mb=aggregate.work_gcycles_per_mb * factor,
+                )
+            )
+
+        history = [
+            (0.9, True),    # honest improvement
+            (1.08, True),   # slow creep: below the gate threshold
+            (5.0, False),   # blatant regression: blocked
+            (0.85, True),   # recovery lands
+        ]
+        for factor, expected in history:
+            revision_app = scaled(factor, app)
+            repo.commit(revision_app, f"aggregate x{factor}")
+            run = pipeline.run_to_completion()
+            outcomes.append(run.promoted)
+            assert run.promoted == expected, (factor, run.stages[-1].detail)
+
+        # Production ends on the recovery revision, not the regression.
+        assert pipeline.production_revision == repo.head.revision
+
+
+class TestFrugalDeviceStack:
+    def test_battery_dvfs_batcher_admission_together(self):
+        """The full frugal stack on a weak battery: admission control
+        sheds the impossible job, everything else completes within
+        deadline, and the battery survives."""
+        env = Environment.build(
+            seed=33,
+            device=DeviceSpec(battery_capacity_j=2_000.0),
+        )
+        controller = OffloadController(
+            env,
+            document_ocr_app(),
+            scheduler=BatteryAwareScheduler(
+                battery_fraction_fn=lambda: env.ue.battery_fraction,
+                inner=DeadlineBatcher(window_s=600.0),
+                threshold=0.15,
+            ),
+            dvfs=True,
+            admission_control=True,
+            weights=ObjectiveWeights.non_time_critical(),
+        )
+        controller.profile_offline()
+        controller.plan(input_mb=5.0)
+        jobs = [
+            Job(controller.app, input_mb=5.0, released_at=300.0 * i,
+                deadline=300.0 * i + 2 * 3600.0)
+            for i in range(5)
+        ]
+        jobs.append(  # physically impossible: shed at the door
+            Job(controller.app, input_mb=5.0, released_at=10.0, deadline=10.5)
+        )
+        report = controller.run_workload(jobs)
+        assert report.jobs_completed == 5
+        assert report.rejections == 1
+        completed_misses = sum(
+            1 for r in report.results if not r.met_deadline
+        )
+        assert completed_misses == 0
+        assert env.ue.battery_level_j > 0
+
+    def test_frugal_stack_beats_naive_on_energy(self):
+        def run(frugal):
+            env = Environment.build(seed=34)
+            if frugal:
+                controller = OffloadController(
+                    env, document_ocr_app(),
+                    scheduler=DeadlineBatcher(window_s=900.0),
+                    dvfs=True,
+                    weights=ObjectiveWeights.non_time_critical(),
+                )
+            else:
+                from repro.baselines import local_only_controller
+
+                controller = local_only_controller(env, document_ocr_app())
+            if controller.partition is None:
+                controller.profile_offline()
+                controller.plan(input_mb=5.0)
+            jobs = [
+                Job(controller.app, input_mb=5.0, released_at=200.0 * i,
+                    deadline=200.0 * i + 4 * 3600.0)
+                for i in range(4)
+            ]
+            return controller.run_workload(jobs)
+
+        frugal = run(True)
+        naive = run(False)
+        assert frugal.total_ue_energy_j < 0.5 * naive.total_ue_energy_j
+        assert frugal.deadline_miss_rate == 0.0
+
+
+class TestRetryStormResilience:
+    def test_high_failure_rate_with_generous_retries(self):
+        """At a 40% per-attempt failure rate with a deep retry budget,
+        the system still completes everything — slower and pricier, with
+        the waste visible in the accounting."""
+        env = Environment.build(
+            seed=35,
+            platform_config=PlatformConfig(failure_probability=0.4),
+        )
+        controller = OffloadController(
+            env,
+            photo_backup_app(),
+            retry_policy=RetryPolicy(max_attempts=12, base_delay_s=0.25),
+        )
+        controller.profile_offline()
+        controller.plan(input_mb=3.0)
+        jobs = [
+            Job(controller.app, input_mb=3.0, released_at=60.0 * i,
+                deadline=60.0 * i + 7200.0)
+            for i in range(6)
+        ]
+        report = controller.run_workload(jobs)
+        assert report.jobs_completed == 6
+        failures = env.metrics.snapshot()["faas.failures"]
+        assert failures > 5
+        # The bill exceeds what the successful executions alone cost.
+        successful = sum(i.cost for i in env.platform.invocations)
+        assert report.total_cloud_cost_usd > successful

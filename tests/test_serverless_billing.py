@@ -1,0 +1,110 @@
+"""Tests for the serverless billing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serverless import BillingModel, CostBreakdown
+
+
+class TestCostBreakdown:
+    def test_total(self):
+        cost = CostBreakdown(request_cost=1.0, compute_cost=2.0)
+        assert cost.total == 3.0
+
+    def test_addition(self):
+        a = CostBreakdown(1.0, 2.0)
+        b = CostBreakdown(0.5, 0.25)
+        combined = a + b
+        assert combined.request_cost == 1.5
+        assert combined.compute_cost == 2.25
+
+    def test_zero_identity(self):
+        a = CostBreakdown(1.0, 2.0)
+        assert (a + CostBreakdown.zero()).total == a.total
+
+
+class TestBillingModel:
+    def test_defaults_are_lambda_2022(self):
+        billing = BillingModel()
+        assert billing.price_per_gb_second == pytest.approx(1.6667e-5)
+        assert billing.price_per_request == pytest.approx(2.0e-7)
+
+    def test_billed_duration_rounds_up(self):
+        billing = BillingModel(granularity_s=0.001)
+        assert billing.billed_duration(0.0011) == pytest.approx(0.002)
+        assert billing.billed_duration(0.002) == pytest.approx(0.002)
+
+    def test_minimum_billed(self):
+        billing = BillingModel(minimum_billed_s=0.01)
+        assert billing.billed_duration(0.0001) == pytest.approx(0.01)
+
+    def test_zero_duration_bills_minimum(self):
+        billing = BillingModel()
+        assert billing.billed_duration(0.0) == pytest.approx(0.001)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BillingModel().billed_duration(-0.1)
+
+    def test_invocation_cost_components(self):
+        billing = BillingModel(
+            price_per_gb_second=1e-5, price_per_request=1e-7, granularity_s=0.001
+        )
+        cost = billing.invocation_cost(duration_s=2.0, memory_mb=2048)
+        assert cost.request_cost == pytest.approx(1e-7)
+        assert cost.compute_cost == pytest.approx(2.0 * 2.0 * 1e-5)
+
+    def test_memory_validation(self):
+        with pytest.raises(ValueError):
+            BillingModel().invocation_cost(1.0, 0.0)
+
+    def test_monthly_cost_scales_linearly(self):
+        billing = BillingModel()
+        one = billing.monthly_cost(1, 0.5, 1024)
+        thousand = billing.monthly_cost(1000, 0.5, 1024)
+        assert thousand == pytest.approx(1000 * one)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BillingModel(price_per_gb_second=-1.0)
+        with pytest.raises(ValueError):
+            BillingModel(granularity_s=0.0)
+        with pytest.raises(ValueError):
+            BillingModel(minimum_billed_s=-1.0)
+
+    @given(
+        duration=st.floats(min_value=0.0, max_value=900.0),
+        memory=st.sampled_from([128, 512, 1024, 1769, 4096, 10240]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_billed_never_below_actual(self, duration, memory):
+        billing = BillingModel()
+        assert billing.billed_duration(duration) >= min(duration, 900.0) - 1e-9
+
+    @given(
+        d1=st.floats(min_value=0.0, max_value=100.0),
+        d2=st.floats(min_value=0.0, max_value=100.0),
+        memory=st.sampled_from([128, 1024, 10240]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cost_monotone_in_duration(self, d1, d2, memory):
+        billing = BillingModel()
+        lo, hi = sorted((d1, d2))
+        assert (
+            billing.invocation_cost(lo, memory).total
+            <= billing.invocation_cost(hi, memory).total + 1e-15
+        )
+
+    @given(
+        duration=st.floats(min_value=0.001, max_value=100.0),
+        m1=st.sampled_from([128, 512, 1769]),
+        m2=st.sampled_from([2048, 4096, 10240]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cost_monotone_in_memory_at_fixed_duration(self, duration, m1, m2):
+        billing = BillingModel()
+        assert (
+            billing.invocation_cost(duration, m1).total
+            <= billing.invocation_cost(duration, m2).total
+        )

@@ -1,0 +1,137 @@
+"""Tests for the function-spec and compute-duration model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serverless import (
+    FunctionSpec,
+    InvocationRequest,
+    execution_time,
+    vcpus_for_memory,
+)
+from repro.serverless.function import (
+    FULL_VCPU_MB,
+    MAX_VCPUS,
+    STANDARD_MEMORY_TIERS_MB,
+    amdahl_speedup,
+)
+
+
+class TestVcpusForMemory:
+    def test_one_vcpu_at_full(self):
+        assert vcpus_for_memory(FULL_VCPU_MB) == pytest.approx(1.0)
+
+    def test_fractional_below(self):
+        assert vcpus_for_memory(FULL_VCPU_MB / 2) == pytest.approx(0.5)
+
+    def test_capped_at_max(self):
+        assert vcpus_for_memory(1e9) == MAX_VCPUS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vcpus_for_memory(0.0)
+
+
+class TestAmdahlSpeedup:
+    def test_serial_never_above_one_core(self):
+        assert amdahl_speedup(4.0, 0.0) == pytest.approx(1.0)
+
+    def test_perfectly_parallel_is_linear(self):
+        assert amdahl_speedup(4.0, 1.0) == pytest.approx(4.0)
+
+    def test_sub_one_core_slows_everything(self):
+        assert amdahl_speedup(0.25, 0.9) == pytest.approx(0.25)
+
+    def test_classic_amdahl_value(self):
+        # p=0.5 at 2 cores: 1/(0.5 + 0.25) = 4/3.
+        assert amdahl_speedup(2.0, 0.5) == pytest.approx(4.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.0, 0.5)
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.0, 1.5)
+
+    @given(
+        cores=st.floats(min_value=0.05, max_value=6.0),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_speedup_bounded_by_cores(self, cores, p):
+        speedup = amdahl_speedup(cores, p)
+        assert 0 < speedup <= max(cores, 1.0) + 1e-9
+
+
+class TestExecutionTime:
+    def test_reference_speed(self):
+        # 2.4 gigacycles at one 2.4 GHz vCPU = 1 second.
+        assert execution_time(2.4, FULL_VCPU_MB) == pytest.approx(1.0)
+
+    def test_half_memory_doubles_time(self):
+        full = execution_time(2.4, FULL_VCPU_MB)
+        half = execution_time(2.4, FULL_VCPU_MB / 2)
+        assert half == pytest.approx(2 * full)
+
+    def test_serial_flattens_above_one_vcpu(self):
+        at_one = execution_time(10.0, FULL_VCPU_MB, parallel_fraction=0.0)
+        at_six = execution_time(10.0, 10240, parallel_fraction=0.0)
+        assert at_six == pytest.approx(at_one)
+
+    def test_parallel_keeps_scaling(self):
+        at_one = execution_time(10.0, FULL_VCPU_MB, parallel_fraction=0.9)
+        at_big = execution_time(10.0, 10240, parallel_fraction=0.9)
+        assert at_big < 0.5 * at_one
+
+    def test_zero_work_is_instant(self):
+        assert execution_time(0.0, 1024) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            execution_time(-1.0, 1024)
+
+    @given(
+        work=st.floats(min_value=0.01, max_value=100.0),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_duration_monotone_nonincreasing_in_memory(self, work, p):
+        durations = [
+            execution_time(work, m, p) for m in STANDARD_MEMORY_TIERS_MB
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(durations, durations[1:]))
+
+
+class TestFunctionSpec:
+    def test_defaults_valid(self):
+        spec = FunctionSpec("f")
+        assert spec.memory_mb == 1024.0
+
+    def test_with_memory_copies(self):
+        spec = FunctionSpec("f", memory_mb=512, package_mb=10)
+        bigger = spec.with_memory(2048)
+        assert bigger.memory_mb == 2048
+        assert bigger.package_mb == 10
+        assert spec.memory_mb == 512
+
+    def test_duration_for_uses_configuration(self):
+        spec = FunctionSpec("f", memory_mb=FULL_VCPU_MB)
+        assert spec.duration_for(2.4) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("f", memory_mb=0)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", package_mb=-1)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", parallel_fraction=2.0)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", concurrency_limit=0)
+
+
+class TestInvocationRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InvocationRequest("f", work_gcycles=-1.0)
+        with pytest.raises(ValueError):
+            InvocationRequest("f", work_gcycles=1.0, payload_bytes=-1.0)

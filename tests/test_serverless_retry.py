@@ -1,0 +1,289 @@
+"""Tests for failure injection, retries, and pre-warming."""
+
+import pytest
+
+from repro.serverless import (
+    FunctionSpec,
+    InvocationFailedError,
+    InvocationRequest,
+    PlatformConfig,
+    RetriesExhaustedError,
+    RetryPolicy,
+    ServerlessPlatform,
+    invoke_with_retries,
+)
+from repro.sim import Simulator
+from repro.sim.rng import RngStream
+
+
+def make_platform(sim, failure_probability=0.0, seed=1, **config):
+    defaults = dict(
+        keep_alive_s=60.0,
+        cold_start_base_s=0.5,
+        cold_start_per_package_mb_s=0.0,
+        failure_probability=failure_probability,
+    )
+    defaults.update(config)
+    platform = ServerlessPlatform(
+        sim, PlatformConfig(**defaults), rng=RngStream(seed)
+    )
+    platform.deploy(FunctionSpec("f", memory_mb=1769, package_mb=0))
+    return platform
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFailureInjection:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(failure_probability=1.0)
+        with pytest.raises(ValueError):
+            PlatformConfig(failure_probability=-0.1)
+
+    def test_failures_require_rng(self, sim):
+        with pytest.raises(ValueError):
+            ServerlessPlatform(
+                sim, PlatformConfig(failure_probability=0.5), rng=None
+            )
+
+    def test_zero_probability_never_fails(self, sim):
+        platform = make_platform(sim, failure_probability=0.0)
+
+        def driver(sim):
+            for _ in range(20):
+                yield platform.invoke(InvocationRequest("f", 0.24))
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert len(platform.invocations) == 20
+
+    def test_failures_raise_and_bill(self, sim):
+        platform = make_platform(sim, failure_probability=0.5, seed=7)
+        outcomes = {"ok": 0, "failed": 0}
+        billed_on_failures = []
+
+        def driver(sim):
+            for _ in range(40):
+                try:
+                    yield platform.invoke(InvocationRequest("f", 2.4))
+                except InvocationFailedError as error:
+                    outcomes["failed"] += 1
+                    billed_on_failures.append(error.billed_usd)
+                else:
+                    outcomes["ok"] += 1
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert outcomes["failed"] > 5
+        assert outcomes["ok"] > 5
+        assert all(b > 0 for b in billed_on_failures)
+        # The platform bill includes the failed attempts.
+        successful = sum(i.cost for i in platform.invocations)
+        assert platform.total_cost > successful
+
+    def test_sandbox_survives_failure(self, sim):
+        """A failed attempt keeps its instance warm for the next call."""
+        platform = make_platform(sim, failure_probability=0.5, seed=3)
+
+        def driver(sim):
+            for _ in range(10):
+                try:
+                    yield platform.invoke(InvocationRequest("f", 2.4))
+                except InvocationFailedError:
+                    pass
+
+        sim.run(until=sim.spawn(driver(sim)))
+        # Only the very first attempt should have cold-started.
+        assert sum(1 for i in platform.invocations if i.cold_start) <= 1
+        assert platform.warm_pool_size("f") == 1
+
+    def test_failure_metric(self, sim):
+        platform = make_platform(sim, failure_probability=0.4, seed=5)
+
+        def driver(sim):
+            for _ in range(25):
+                try:
+                    yield platform.invoke(InvocationRequest("f", 0.24))
+                except InvocationFailedError:
+                    pass
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert platform.metrics.counter("faas.failures").value > 0
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=2.0, multiplier=3.0)
+        assert policy.delay_before_attempt(0) == 0.0
+        assert policy.delay_before_attempt(1) == 2.0
+        assert policy.delay_before_attempt(2) == 6.0
+        assert policy.delay_before_attempt(3) == 18.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=10.0, jitter=0.3)
+        rng = RngStream(1)
+        for _ in range(20):
+            delay = policy.delay_before_attempt(1, rng)
+            assert 7.0 <= delay <= 13.0
+
+
+class TestInvokeWithRetries:
+    def test_success_without_failures(self, sim):
+        platform = make_platform(sim)
+        outcome = sim.run(
+            until=invoke_with_retries(
+                platform, InvocationRequest("f", 2.4), RetryPolicy()
+            )
+        )
+        assert outcome.attempts == 1
+        assert outcome.wasted_usd == 0.0
+        assert outcome.backoff_s == 0.0
+        assert outcome.total_cost == outcome.invocation.cost
+
+    def test_retries_until_success(self, sim):
+        platform = make_platform(sim, failure_probability=0.6, seed=11)
+        policy = RetryPolicy(max_attempts=20, base_delay_s=0.1)
+        outcome = sim.run(
+            until=invoke_with_retries(platform, InvocationRequest("f", 2.4), policy)
+        )
+        assert outcome.attempts >= 2
+        assert outcome.wasted_usd > 0
+        assert outcome.backoff_s > 0
+        assert outcome.total_cost > outcome.invocation.cost
+
+    def test_exhaustion_raises_with_accounting(self, sim):
+        platform = make_platform(sim, failure_probability=0.95, seed=13)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.1)
+        process = invoke_with_retries(
+            platform, InvocationRequest("f", 2.4), policy
+        )
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            sim.run(until=process)
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.wasted_usd > 0
+
+
+class TestPrewarming:
+    def test_prewarm_avoids_cold_start(self, sim):
+        platform = make_platform(sim)
+
+        def driver(sim):
+            yield platform.prewarm("f", 2)
+            record = yield platform.invoke(InvocationRequest("f", 2.4))
+            return record
+
+        record = sim.run(until=sim.spawn(driver(sim)))
+        assert not record.cold_start
+        assert record.queue_delay == 0.0
+
+    def test_prewarmed_instances_never_expire(self, sim):
+        platform = make_platform(sim, keep_alive_s=5.0)
+
+        def driver(sim):
+            yield platform.prewarm("f", 1)
+            yield sim.timeout(1000.0)  # far past keep-alive
+            return (yield platform.invoke(InvocationRequest("f", 2.4)))
+
+        record = sim.run(until=sim.spawn(driver(sim)))
+        assert not record.cold_start
+
+    def test_release_restores_expiry(self, sim):
+        platform = make_platform(sim, keep_alive_s=5.0)
+
+        def driver(sim):
+            yield platform.prewarm("f", 1)
+            platform.release_prewarm("f")
+            yield sim.timeout(1000.0)
+            return (yield platform.invoke(InvocationRequest("f", 2.4)))
+
+        record = sim.run(until=sim.spawn(driver(sim)))
+        assert record.cold_start  # pool expired after release
+
+    def test_provisioned_billing_accrues(self, sim):
+        platform = make_platform(sim)
+
+        def driver(sim):
+            yield platform.prewarm("f", 2)
+            yield sim.timeout(3600.0)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        sim.run()
+        cost = platform.provisioned_cost("f")
+        gb = 1769 / 1024.0
+        expected = 2 * gb * 3600.0 * platform.config.billing.provisioned_price_per_gb_second
+        assert cost == pytest.approx(expected, rel=1e-6)
+        assert platform.total_cost >= cost
+
+    def test_billing_stops_after_release(self, sim):
+        platform = make_platform(sim)
+
+        def driver(sim):
+            yield platform.prewarm("f", 1)
+            yield sim.timeout(100.0)
+            platform.release_prewarm("f")
+            yield sim.timeout(1000.0)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        sim.run()
+        gb = 1769 / 1024.0
+        expected = gb * 100.0 * platform.config.billing.provisioned_price_per_gb_second
+        assert platform.provisioned_cost("f") == pytest.approx(expected, rel=1e-6)
+
+    def test_prewarm_count_and_validation(self, sim):
+        platform = make_platform(sim)
+        with pytest.raises(ValueError):
+            platform.prewarm("f", 0)
+
+        def driver(sim):
+            yield platform.prewarm("f", 3)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert platform.prewarmed_count("f") == 3
+
+    def test_prewarm_respects_concurrency_limit(self, sim):
+        platform = ServerlessPlatform(sim, PlatformConfig(default_concurrency=2))
+        platform.deploy(FunctionSpec("f", memory_mb=1769, package_mb=0))
+        with pytest.raises(ValueError):
+            platform.prewarm("f", 3)
+
+    def test_prewarm_serves_waiting_queue(self, sim):
+        platform = ServerlessPlatform(
+            sim,
+            PlatformConfig(
+                default_concurrency=1, cold_start_base_s=0.5,
+                cold_start_per_package_mb_s=0.0,
+            ),
+        )
+        platform.deploy(FunctionSpec("f", memory_mb=1769, package_mb=0))
+        # Fill the single slot, then queue another request... but raise
+        # the limit first via redeploy with explicit concurrency.
+        platform.deploy(
+            FunctionSpec("f", memory_mb=1769, package_mb=0, concurrency_limit=3)
+        )
+        first = platform.invoke(InvocationRequest("f", 24.0))  # 10 s busy
+        second = platform.invoke(InvocationRequest("f", 24.0))
+        third = platform.invoke(InvocationRequest("f", 2.4))
+
+        def helper(sim):
+            yield sim.timeout(1.0)
+            yield platform.prewarm("f", 1)
+
+        sim.spawn(helper(sim))
+
+        def join(sim):
+            results = yield sim.all_of([first, second, third])
+            return sorted(r.finished_at for r in results.values())
+
+        finishes = sim.run(until=sim.spawn(join(sim)))
+        assert len(finishes) == 3

@@ -1,0 +1,212 @@
+"""Tests for the cloud-side workflow engine."""
+
+import pytest
+
+from repro.serverless import (
+    FunctionSpec,
+    PlatformConfig,
+    RetryPolicy,
+    ServerlessPlatform,
+)
+from repro.serverless.workflow import (
+    WorkflowDefinition,
+    WorkflowEngine,
+    WorkflowStep,
+    workflow_from_partition,
+)
+from repro.sim import Simulator
+from repro.sim.rng import RngStream
+
+
+def diamond_definition():
+    return WorkflowDefinition(
+        "diamond",
+        [
+            WorkflowStep("a", "fn.a"),
+            WorkflowStep("b", "fn.b", depends_on=("a",)),
+            WorkflowStep("c", "fn.c", depends_on=("a",)),
+            WorkflowStep("d", "fn.d", depends_on=("b", "c")),
+        ],
+    )
+
+
+def make_engine(sim, failure_probability=0.0, **engine_kwargs):
+    platform = ServerlessPlatform(
+        sim,
+        PlatformConfig(
+            keep_alive_s=600.0,
+            cold_start_base_s=0.5,
+            cold_start_per_package_mb_s=0.0,
+            failure_probability=failure_probability,
+        ),
+        rng=RngStream(3) if failure_probability else None,
+    )
+    for name in ("fn.a", "fn.b", "fn.c", "fn.d"):
+        platform.deploy(FunctionSpec(name, memory_mb=1769, package_mb=0))
+    engine = WorkflowEngine(sim, platform, **engine_kwargs)
+    return platform, engine
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestDefinition:
+    def test_topological_order(self):
+        definition = diamond_definition()
+        order = definition.step_names
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+        assert len(definition) == 4
+
+    def test_transition_count(self):
+        assert diamond_definition().transition_count == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowDefinition("empty", [])
+        with pytest.raises(ValueError):
+            WorkflowDefinition(
+                "dup", [WorkflowStep("a", "f"), WorkflowStep("a", "f")]
+            )
+        with pytest.raises(KeyError):
+            WorkflowDefinition(
+                "ghost", [WorkflowStep("a", "f", depends_on=("nope",))]
+            )
+        with pytest.raises(ValueError):
+            WorkflowDefinition(
+                "cycle",
+                [
+                    WorkflowStep("a", "f", depends_on=("b",)),
+                    WorkflowStep("b", "f", depends_on=("a",)),
+                ],
+            )
+        with pytest.raises(ValueError):
+            WorkflowStep("a", "f", depends_on=("a",))
+        with pytest.raises(KeyError):
+            diamond_definition().step("ghost")
+
+
+class TestEngine:
+    def test_executes_respecting_dependencies(self, sim):
+        platform, engine = make_engine(sim)
+        work = {name: 2.4 for name in "abcd"}
+        execution = sim.run(until=engine.run(diamond_definition(), work))
+        finish = {
+            name: inv.finished_at for name, inv in execution.invocations.items()
+        }
+        assert finish["a"] < finish["b"]
+        assert finish["a"] < finish["c"]
+        assert max(finish["b"], finish["c"]) < finish["d"]
+
+    def test_parallel_branches_overlap(self, sim):
+        platform, engine = make_engine(sim)
+        work = {"a": 0.24, "b": 24.0, "c": 24.0, "d": 0.24}
+        execution = sim.run(until=engine.run(diamond_definition(), work))
+        b = execution.invocations["b"]
+        c = execution.invocations["c"]
+        # b and c ran concurrently, not back to back.
+        assert b.started_at < c.finished_at and c.started_at < b.finished_at
+
+    def test_orchestration_cost_and_latency(self, sim):
+        platform, engine = make_engine(
+            sim, price_per_transition=1e-4, transition_latency_s=0.5
+        )
+        work = {name: 0.24 for name in "abcd"}
+        execution = sim.run(until=engine.run(diamond_definition(), work))
+        assert execution.orchestration_cost_usd == pytest.approx(6e-4)
+        assert execution.total_cost_usd > execution.compute_cost_usd
+        # Critical path a->b->d pays three transition latencies.
+        assert execution.duration_s >= 3 * 0.5
+
+    def test_undeployed_function_rejected(self, sim):
+        platform, engine = make_engine(sim)
+        platform.undeploy("fn.d")
+        with pytest.raises(KeyError, match="undeployed"):
+            engine.run(diamond_definition(), {n: 1.0 for n in "abcd"})
+
+    def test_missing_work_rejected(self, sim):
+        _platform, engine = make_engine(sim)
+        with pytest.raises(ValueError, match="missing"):
+            engine.run(diamond_definition(), {"a": 1.0})
+
+    def test_retries_absorb_failures(self, sim):
+        platform, engine = make_engine(
+            sim,
+            failure_probability=0.3,
+            retry_policy=RetryPolicy(max_attempts=10, base_delay_s=0.1),
+            rng=RngStream(5),
+        )
+        work = {name: 2.4 for name in "abcd"}
+        execution = sim.run(until=engine.run(diamond_definition(), work))
+        assert len(execution.invocations) == 4
+        assert platform.metrics.counter("faas.failures").value >= 0
+
+    def test_executions_recorded(self, sim):
+        _platform, engine = make_engine(sim)
+        work = {name: 0.24 for name in "abcd"}
+
+        def driver(sim):
+            yield engine.run(diamond_definition(), work)
+            yield engine.run(diamond_definition(), work)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert len(engine.executions) == 2
+        assert engine.total_orchestration_cost == pytest.approx(
+            2 * 6 * 2.5e-5
+        )
+
+    def test_engine_validation(self, sim):
+        platform, _ = make_engine(sim)
+        with pytest.raises(ValueError):
+            WorkflowEngine(sim, platform, price_per_transition=-1)
+        with pytest.raises(ValueError):
+            WorkflowEngine(sim, platform, transition_latency_s=-1)
+
+
+class TestWorkflowFromPartition:
+    def test_builds_cloud_subgraph(self):
+        cloud = ["parse", "clean", "aggregate"]
+        predecessors = {
+            "parse": ["collect"],          # cut edge: dropped
+            "clean": ["parse"],
+            "aggregate": ["clean"],
+        }
+        definition = workflow_from_partition(
+            "analytics", cloud, predecessors, lambda c: f"analytics.{c}"
+        )
+        assert definition.step("parse").depends_on == ()
+        assert definition.step("clean").depends_on == ("parse",)
+        assert definition.step("aggregate").function == "analytics.aggregate"
+
+    def test_end_to_end_with_catalog_app(self, sim):
+        """The cloud side of a real partition runs as one workflow."""
+        from repro.apps import nightly_analytics_app
+        from repro.core.partitioning import Partition
+
+        app = nightly_analytics_app()
+        partition = Partition.full_offload(app)
+        cloud = [n for n in app.component_names if partition.is_cloud(n)]
+
+        platform = ServerlessPlatform(sim, PlatformConfig(
+            cold_start_per_package_mb_s=0.0))
+        for component in cloud:
+            platform.deploy(
+                FunctionSpec(f"analytics.{component}", memory_mb=1769,
+                             package_mb=0)
+            )
+        engine = WorkflowEngine(sim, platform)
+        definition = workflow_from_partition(
+            "analytics",
+            cloud,
+            {n: app.predecessors(n) for n in cloud},
+            lambda c: f"analytics.{c}",
+        )
+        work = {n: app.component(n).work_for(3.0) for n in cloud}
+        execution = sim.run(until=engine.run(definition, work))
+        assert set(execution.invocations) == set(cloud)
+        finish = {n: i.finished_at for n, i in execution.invocations.items()}
+        for flow in app.flows:
+            if flow.src in finish and flow.dst in finish:
+                assert finish[flow.src] <= finish[flow.dst]

@@ -1,0 +1,219 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    Simulator,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_while_pending(self, sim):
+        event = sim.event()
+        with pytest.raises(AttributeError):
+            _ = event.value
+
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        event.succeed(41)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 41
+
+    def test_fail_stores_exception(self, sim):
+        event = sim.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_double_succeed_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_after_succeed_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.fail(ValueError("late"))
+
+    def test_fail_requires_exception_instance(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callbacks_run_when_processed(self, sim):
+        event = sim.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        assert seen == []  # not yet processed
+        sim.run()
+        assert seen == ["payload"]
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, sim):
+        timeout = sim.timeout(5.0)
+        sim.run()
+        assert timeout.processed
+        assert sim.now == 5.0
+
+    def test_zero_delay_is_legal(self, sim):
+        sim.timeout(0.0)
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_carries_value(self, sim):
+        result = []
+
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="tick")
+            result.append(got)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert result == ["tick"]
+
+
+class TestAllOf:
+    def test_waits_for_every_event(self, sim):
+        collected = []
+
+        def proc(sim):
+            timeouts = [sim.timeout(t) for t in (3.0, 1.0, 2.0)]
+            yield sim.all_of(timeouts)
+            collected.append(sim.now)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert collected == [3.0]
+
+    def test_value_maps_children(self, sim):
+        out = {}
+
+        def proc(sim):
+            a = sim.timeout(1.0, value="a")
+            b = sim.timeout(2.0, value="b")
+            got = yield sim.all_of([a, b])
+            out.update({v for v in got.values()} and got)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert sorted(out.values()) == ["a", "b"]
+
+    def test_empty_succeeds_immediately(self, sim):
+        condition = sim.all_of([])
+        assert condition.triggered
+
+    def test_propagates_first_failure(self, sim):
+        failures = []
+
+        def failer(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("dead")
+
+        def waiter(sim, target):
+            try:
+                yield sim.all_of([target, sim.timeout(10.0)])
+            except ValueError as error:
+                failures.append((sim.now, str(error)))
+
+        target = sim.spawn(failer(sim))
+        sim.spawn(waiter(sim, target))
+        sim.run()
+        assert failures == [(1.0, "dead")]
+
+    def test_mixed_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            sim.all_of([sim.timeout(1), other.timeout(1)])
+
+    def test_already_processed_children(self, sim):
+        t1 = sim.timeout(1.0, value="x")
+        sim.run()  # t1 now processed
+        done = []
+
+        def proc(sim):
+            got = yield sim.all_of([t1])
+            done.append(got[t1])
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert done == ["x"]
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, sim):
+        moments = []
+
+        def proc(sim):
+            yield sim.any_of([sim.timeout(5.0), sim.timeout(2.0), sim.timeout(9.0)])
+            moments.append(sim.now)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert moments == [2.0]
+
+    def test_fails_only_when_all_fail(self, sim):
+        outcomes = []
+
+        def failer(sim, delay):
+            yield sim.timeout(delay)
+            raise RuntimeError(f"f{delay}")
+
+        def waiter(sim, targets):
+            try:
+                yield sim.any_of(targets)
+            except RuntimeError as error:
+                outcomes.append((sim.now, str(error)))
+
+        targets = [sim.spawn(failer(sim, d)) for d in (1.0, 2.0)]
+        sim.spawn(waiter(sim, targets))
+        sim.run()
+        assert outcomes == [(2.0, "f2.0")]
+
+    def test_one_failure_does_not_kill(self, sim):
+        results = []
+
+        def failer(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("early fail")
+
+        def waiter(sim, target):
+            got = yield sim.any_of([target, sim.timeout(3.0, value="ok")])
+            results.append((sim.now, list(got.values())))
+
+        target = sim.spawn(failer(sim))
+        sim.spawn(waiter(sim, target))
+        sim.run()
+        assert results == [(3.0, ["ok"])]
+
+
+class TestInterrupt:
+    def test_carries_cause(self):
+        interrupt = Interrupt(cause={"reason": "battery"})
+        assert interrupt.cause == {"reason": "battery"}

@@ -1,0 +1,262 @@
+"""Unit tests for the simulation kernel (Simulator, Process)."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start(self):
+        assert Simulator(start=100.0).now == 100.0
+
+    def test_run_until_time_advances_clock(self, sim):
+        sim.timeout(3.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_past_rejected(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=2.0)
+
+    def test_peek_reports_next_event(self, sim):
+        sim.timeout(7.0)
+        assert sim.peek() == 7.0
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_step_on_empty_heap_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_events_processed_counts(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestProcess:
+    def test_return_value_via_run(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.spawn(proc(sim))
+        assert sim.run(until=process) == "done"
+
+    def test_requires_generator(self, sim):
+        def not_a_generator():
+            return 42
+
+        with pytest.raises(TypeError):
+            sim.spawn(not_a_generator)  # type: ignore[arg-type]
+
+    def test_spawn_does_not_run_user_code_synchronously(self, sim):
+        order = []
+
+        def proc(sim):
+            order.append("ran")
+            yield sim.timeout(0)
+
+        sim.spawn(proc(sim))
+        assert order == []
+        sim.run()
+        assert order == ["ran"]
+
+    def test_process_failure_propagates_to_run(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise KeyError("missing")
+
+        process = sim.spawn(proc(sim))
+        with pytest.raises(KeyError):
+            sim.run(until=process)
+
+    def test_join_another_process(self, sim):
+        def worker(sim):
+            yield sim.timeout(4.0)
+            return 99
+
+        def parent(sim):
+            worker_process = sim.spawn(worker(sim))
+            value = yield worker_process
+            return (sim.now, value)
+
+        process = sim.spawn(parent(sim))
+        assert sim.run(until=process) == (4.0, 99)
+
+    def test_join_already_finished_process(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "early"
+
+        worker_process = sim.spawn(worker(sim))
+        sim.run()
+
+        def late_joiner(sim):
+            value = yield worker_process
+            return value
+
+        process = sim.spawn(late_joiner(sim))
+        assert sim.run(until=process) == "early"
+
+    def test_yield_non_event_is_error(self, sim):
+        def proc(sim):
+            yield 42  # type: ignore[misc]
+
+        process = sim.spawn(proc(sim))
+        with pytest.raises(SimulationError):
+            sim.run(until=process)
+
+    def test_failed_dependency_raises_inside_process(self, sim):
+        def failer(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        caught = []
+
+        def waiter(sim, target):
+            try:
+                yield target
+            except ValueError as error:
+                caught.append(str(error))
+            return "survived"
+
+        target = sim.spawn(failer(sim))
+        process = sim.spawn(waiter(sim, target))
+        assert sim.run(until=process) == "survived"
+        assert caught == ["inner"]
+
+    def test_deadlock_detected(self, sim):
+        def stuck(sim):
+            yield sim.event()  # nobody will ever trigger this
+
+        process = sim.spawn(stuck(sim))
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=process)
+
+
+class TestInterruption:
+    def test_interrupt_wakes_sleeper(self, sim):
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+        def killer(sim, victim):
+            yield sim.timeout(2.0)
+            victim.interrupt("no more")
+
+        victim = sim.spawn(sleeper(sim))
+        sim.spawn(killer(sim, victim))
+        sim.run()
+        assert log == [(2.0, "no more")]
+
+    def test_interrupted_process_can_continue(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(1.0)
+            return sim.now
+
+        def killer(sim, victim):
+            yield sim.timeout(5.0)
+            victim.interrupt()
+
+        victim = sim.spawn(sleeper(sim))
+        sim.spawn(killer(sim, victim))
+        assert sim.run(until=victim) == 6.0
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        process = sim.spawn(quick(sim))
+        sim.run()
+        process.interrupt("late")  # must not raise
+        sim.run()
+
+    def test_stale_event_does_not_double_resume(self, sim):
+        """After an interrupt, the original wait target firing later must
+        not resume the process a second time."""
+        resumes = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(10.0)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+            yield sim.timeout(20.0)
+            resumes.append("after")
+
+        def killer(sim, victim):
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        victim = sim.spawn(sleeper(sim))
+        sim.spawn(killer(sim, victim))
+        sim.run()
+        assert resumes == ["interrupt", "after"]
+
+
+class TestDeterminism:
+    def test_same_timestamp_fifo_order(self, sim):
+        order = []
+
+        def proc(sim, tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(proc(sim, tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_identical_runs_identical_traces(self):
+        def trace_run():
+            sim = Simulator()
+            log = []
+
+            def proc(sim, tag, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, tag))
+                yield sim.timeout(delay)
+                log.append((sim.now, tag))
+
+            for i, delay in enumerate((2.0, 1.0, 3.0)):
+                sim.spawn(proc(sim, f"p{i}", delay))
+            sim.run()
+            return log
+
+        assert trace_run() == trace_run()
+
+
+class TestCallAt:
+    def test_runs_at_absolute_time(self, sim):
+        seen = []
+        sim.call_at(6.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [6.0]
+
+    def test_past_time_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)

@@ -1,0 +1,235 @@
+"""Unit tests for sim resources (Resource, PriorityResource, Store, Container)."""
+
+import pytest
+
+from repro.sim import Container, PriorityResource, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        r1, r2, r3 = resource.request(), resource.request(), resource.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert resource.in_use == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(sim, tag):
+            request = resource.request()
+            yield request
+            order.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            resource.release(request)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(worker(sim, tag))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_release_queued_request_cancels_it(self, sim):
+        resource = Resource(sim, capacity=1)
+        held = resource.request()
+        queued = resource.request()
+        resource.release(queued)  # cancel
+        assert resource.queue_length == 0
+        resource.release(held)
+        assert resource.in_use == 0
+
+    def test_release_unknown_request_rejected(self, sim):
+        r1 = Resource(sim, capacity=1)
+        r2 = Resource(sim, capacity=1)
+        request = r1.request()
+        with pytest.raises(RuntimeError):
+            r2.release(request)
+
+    def test_context_manager_releases(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker(sim):
+            with resource.request() as request:
+                yield request
+                yield sim.timeout(1.0)
+            return resource.in_use
+
+        process = sim.spawn(worker(sim))
+        assert sim.run(until=process) == 0
+
+
+class TestPriorityResource:
+    def test_serves_lowest_priority_value_first(self, sim):
+        resource = PriorityResource(sim, capacity=1)
+        order = []
+
+        def holder(sim):
+            request = resource.request(priority=0)
+            yield request
+            yield sim.timeout(1.0)
+            resource.release(request)
+
+        def worker(sim, tag, priority):
+            yield sim.timeout(0.1)  # ensure holder got the slot first
+            request = resource.request(priority=priority)
+            yield request
+            order.append(tag)
+            resource.release(request)
+
+        sim.spawn(holder(sim))
+        sim.spawn(worker(sim, "low-urgency", 5.0))
+        sim.spawn(worker(sim, "high-urgency", 1.0))
+        sim.run()
+        assert order == ["high-urgency", "low-urgency"]
+
+    def test_ties_broken_by_arrival(self, sim):
+        resource = PriorityResource(sim, capacity=1)
+        blocker = resource.request(priority=0)
+        first = resource.request(priority=2)
+        second = resource.request(priority=2)
+        resource.release(blocker)
+        sim.run()
+        assert first.triggered
+        assert not second.triggered
+
+    def test_cancel_queued_priority_request(self, sim):
+        resource = PriorityResource(sim, capacity=1)
+        blocker = resource.request()
+        queued = resource.request(priority=1)
+        resource.release(queued)
+        assert resource.queue_length == 0
+        resource.release(blocker)
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer(sim):
+            for item in ("x", "y"):
+                yield store.put(item)
+
+        def consumer(sim):
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item)
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == ["x", "y"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        moments = []
+
+        def consumer(sim):
+            item = yield store.get()
+            moments.append((sim.now, item))
+
+        def producer(sim):
+            yield sim.timeout(5.0)
+            yield store.put("late")
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert moments == [(5.0, "late")]
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer(sim):
+            yield store.put(1)
+            events.append(("put1", sim.now))
+            yield store.put(2)
+            events.append(("put2", sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(3.0)
+            yield store.get()
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert events == [("put1", 0.0), ("put2", 3.0)]
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_len_reports_buffered(self, sim):
+        store = Store(sim)
+        store.put("a")
+        sim.run()
+        assert len(store) == 1
+
+
+class TestContainer:
+    def test_initial_level(self, sim):
+        container = Container(sim, capacity=10.0, init=4.0)
+        assert container.level == 4.0
+
+    def test_init_validation(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=5.0, init=6.0)
+
+    def test_get_blocks_until_enough(self, sim):
+        container = Container(sim, capacity=10.0, init=1.0)
+        events = []
+
+        def taker(sim):
+            yield container.get(5.0)
+            events.append(sim.now)
+
+        def filler(sim):
+            yield sim.timeout(2.0)
+            yield container.put(4.0)
+
+        sim.spawn(taker(sim))
+        sim.spawn(filler(sim))
+        sim.run()
+        assert events == [2.0]
+        assert container.level == 0.0
+
+    def test_put_blocks_when_overful(self, sim):
+        container = Container(sim, capacity=5.0, init=4.0)
+        events = []
+
+        def putter(sim):
+            yield container.put(3.0)
+            events.append(sim.now)
+
+        def drainer(sim):
+            yield sim.timeout(1.0)
+            yield container.get(2.0)
+
+        sim.spawn(putter(sim))
+        sim.spawn(drainer(sim))
+        sim.run()
+        assert events == [1.0]
+        assert container.level == 5.0
+
+    def test_get_more_than_capacity_rejected(self, sim):
+        container = Container(sim, capacity=5.0)
+        with pytest.raises(ValueError):
+            container.get(6.0)
+
+    def test_negative_amounts_rejected(self, sim):
+        container = Container(sim, capacity=5.0)
+        with pytest.raises(ValueError):
+            container.put(-1.0)
+        with pytest.raises(ValueError):
+            container.get(-1.0)

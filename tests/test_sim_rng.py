@@ -1,0 +1,129 @@
+"""Tests for named random streams (determinism is load-bearing here)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStream, SeedSequenceRegistry
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(123)
+        b = RngStream(123)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1)
+        b = RngStream(2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_exponential_mean_validation(self):
+        with pytest.raises(ValueError):
+            RngStream(0).exponential(0.0)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_exponential_positive(self, mean):
+        stream = RngStream(7)
+        assert all(stream.exponential(mean) > 0 for _ in range(20))
+
+    @given(
+        st.floats(min_value=0.1, max_value=50.0),
+        st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lognormal_bounded_respects_bounds(self, median, sigma):
+        stream = RngStream(9)
+        low, high = median * 0.5, median * 2.0
+        for _ in range(20):
+            draw = stream.lognormal_bounded(median, sigma, low=low, high=high)
+            assert low <= draw <= high
+
+    def test_lognormal_requires_positive_median(self):
+        with pytest.raises(ValueError):
+            RngStream(0).lognormal_bounded(0.0, 1.0)
+
+    def test_choice_uniform(self):
+        stream = RngStream(3)
+        options = ["a", "b", "c"]
+        picks = {stream.choice(options) for _ in range(100)}
+        assert picks == {"a", "b", "c"}
+
+    def test_choice_weighted_zero_weight_never_picked(self):
+        stream = RngStream(4)
+        picks = {
+            stream.choice(["never", "always"], weights=[0.0, 1.0])
+            for _ in range(50)
+        }
+        assert picks == {"always"}
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(0).choice([])
+
+    def test_choice_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RngStream(0).choice(["a"], weights=[1.0, 2.0])
+
+    def test_choice_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(0).choice(["a", "b"], weights=[0.0, 0.0])
+
+    def test_bernoulli_bounds(self):
+        stream = RngStream(5)
+        assert not any(stream.bernoulli(0.0) for _ in range(20))
+        assert all(stream.bernoulli(1.0) for _ in range(20))
+        with pytest.raises(ValueError):
+            stream.bernoulli(1.5)
+
+    def test_shuffle_is_permutation(self):
+        stream = RngStream(6)
+        items = list(range(10))
+        shuffled = stream.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # original untouched
+
+    def test_integer_range(self):
+        stream = RngStream(8)
+        draws = {stream.integer(2, 5) for _ in range(100)}
+        assert draws == {2, 3, 4}
+
+
+class TestSeedSequenceRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = SeedSequenceRegistry(0)
+        assert registry.stream("net") is registry.stream("net")
+
+    def test_different_names_independent(self):
+        registry = SeedSequenceRegistry(0)
+        a = registry.stream("a")
+        b = registry.stream("b")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = SeedSequenceRegistry(42)
+        first_draws = [reg1.stream("net").uniform() for _ in range(5)]
+
+        reg2 = SeedSequenceRegistry(42)
+        reg2.stream("other")  # extra consumer registered first
+        second_draws = [reg2.stream("net").uniform() for _ in range(5)]
+        assert first_draws == second_draws
+
+    def test_fork_is_independent(self):
+        registry = SeedSequenceRegistry(1)
+        fork = registry.fork("worker")
+        a = registry.stream("x")
+        b = fork.stream("x")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_fork_deterministic(self):
+        a = SeedSequenceRegistry(1).fork("w").stream("x").uniform()
+        b = SeedSequenceRegistry(1).fork("w").stream("x").uniform()
+        assert a == b
+
+    def test_names_sorted(self):
+        registry = SeedSequenceRegistry(0)
+        registry.stream("zeta")
+        registry.stream("alpha")
+        assert list(registry.names()) == ["alpha", "zeta"]

@@ -1,0 +1,216 @@
+"""Tests for the cloud object-store substrate."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import (
+    ObjectNotFoundError,
+    ObjectStore,
+    StoragePricing,
+)
+from repro.storage.objectstore import SECONDS_PER_MONTH
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def store(sim):
+    return ObjectStore(sim, request_latency_s=0.01)
+
+
+class TestPricing:
+    def test_defaults_s3_shaped(self):
+        pricing = StoragePricing()
+        assert pricing.egress_price_per_gb > 100 * pricing.intra_cloud_price_per_gb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoragePricing(price_per_gb_month=-1)
+        with pytest.raises(ValueError):
+            StoragePricing().storage_cost(-1)
+        with pytest.raises(ValueError):
+            StoragePricing().transfer_cost(-1, external=True)
+
+    def test_storage_cost_scales(self):
+        pricing = StoragePricing(price_per_gb_month=0.023)
+        # One GB for one month.
+        assert pricing.storage_cost(SECONDS_PER_MONTH) == pytest.approx(0.023)
+
+    def test_egress_vs_intra(self):
+        pricing = StoragePricing(egress_price_per_gb=0.09,
+                                 intra_cloud_price_per_gb=0.0)
+        assert pricing.transfer_cost(1e9, external=True) == pytest.approx(0.09)
+        assert pricing.transfer_cost(1e9, external=False) == 0.0
+
+
+class TestOperations:
+    def test_put_get_roundtrip(self, sim, store):
+        def driver(sim):
+            yield store.put("k", 1000.0)
+            record = yield store.get("k")
+            return record
+
+        record = sim.run(until=sim.spawn(driver(sim)))
+        assert record.nbytes == 1000.0
+        assert "k" in store
+        assert store.size_of("k") == 1000.0
+        assert len(store) == 1
+
+    def test_request_latency_charged(self, sim, store):
+        def driver(sim):
+            yield store.put("k", 10.0)
+            yield store.get("k")
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert sim.now == pytest.approx(0.02)
+
+    def test_get_missing_raises(self, sim, store):
+        process = store.get("ghost")
+        with pytest.raises(ObjectNotFoundError):
+            sim.run(until=process)
+
+    def test_delete(self, sim, store):
+        sim.run(until=store.put("k", 10.0))
+        store.delete("k")
+        assert "k" not in store
+        with pytest.raises(ObjectNotFoundError):
+            store.delete("k")
+
+    def test_overwrite_replaces(self, sim, store):
+        def driver(sim):
+            yield store.put("k", 10.0)
+            yield store.put("k", 99.0)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert store.size_of("k") == 99.0
+        assert len(store) == 1
+
+    def test_keys_sorted(self, sim, store):
+        def driver(sim):
+            yield store.put("zeta", 1.0)
+            yield store.put("alpha", 1.0)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert store.keys() == ["alpha", "zeta"]
+
+    def test_negative_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("k", -1.0)
+
+
+class TestBilling:
+    def test_request_fees_accumulate(self, sim):
+        pricing = StoragePricing(price_per_put=1e-3, price_per_get=1e-4,
+                                 price_per_gb_month=0.0, egress_price_per_gb=0.0)
+        store = ObjectStore(sim, pricing, request_latency_s=0.0)
+
+        def driver(sim):
+            yield store.put("k", 10.0)
+            yield store.get("k")
+            yield store.get("k")
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert store.total_cost() == pytest.approx(1e-3 + 2e-4)
+
+    def test_egress_charged_only_when_external(self, sim):
+        pricing = StoragePricing(price_per_put=0, price_per_get=0,
+                                 price_per_gb_month=0, egress_price_per_gb=0.09)
+        store = ObjectStore(sim, pricing, request_latency_s=0.0)
+
+        def driver(sim):
+            yield store.put("k", 1e9)
+            yield store.get("k", external=False)
+            internal_cost = store.total_cost()
+            yield store.get("k", external=True)
+            return internal_cost
+
+        internal_cost = sim.run(until=sim.spawn(driver(sim)))
+        assert internal_cost == 0.0
+        assert store.total_cost() == pytest.approx(0.09)
+
+    def test_storage_time_billed(self, sim):
+        pricing = StoragePricing(price_per_put=0, price_per_get=0,
+                                 price_per_gb_month=0.023,
+                                 egress_price_per_gb=0.0)
+        store = ObjectStore(sim, pricing, request_latency_s=0.0)
+        sim.run(until=store.put("k", 1e9))
+        sim.timeout(SECONDS_PER_MONTH)
+        sim.run()
+        assert store.total_cost() == pytest.approx(0.023, rel=1e-6)
+
+    def test_retired_objects_keep_their_storage_time(self, sim):
+        pricing = StoragePricing(price_per_put=0, price_per_get=0,
+                                 price_per_gb_month=0.023,
+                                 egress_price_per_gb=0.0)
+        store = ObjectStore(sim, pricing, request_latency_s=0.0)
+        sim.run(until=store.put("k", 1e9))
+        sim.timeout(SECONDS_PER_MONTH / 2)
+        sim.run()
+        store.delete("k")
+        sim.timeout(SECONDS_PER_MONTH)  # long after deletion
+        sim.run()
+        assert store.total_cost() == pytest.approx(0.0115, rel=1e-6)
+
+    def test_stored_bytes(self, sim, store):
+        def driver(sim):
+            yield store.put("a", 100.0)
+            yield store.put("b", 200.0)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        assert store.stored_bytes == 300.0
+
+
+class TestControllerIntegration:
+    def test_storage_environment_routes_and_bills(self):
+        from repro import Environment, Job, OffloadController, photo_backup_app
+
+        env = Environment.build(seed=4, with_storage=True)
+        controller = OffloadController(env, photo_backup_app())
+        controller.profile_offline()
+        controller.plan(input_mb=4.0)
+        report = controller.run_workload(
+            [Job(controller.app, input_mb=4.0, deadline=3600.0)]
+        )
+        assert report.jobs_completed == 1
+        # Staged edges left nothing behind and the store billed something.
+        assert len(env.storage) == 0
+        assert env.storage.total_cost() > 0
+
+    def test_storage_makes_job_cost_higher(self):
+        from repro import Environment, Job, OffloadController, photo_backup_app
+
+        def run(with_storage):
+            env = Environment.build(seed=4, with_storage=with_storage)
+            controller = OffloadController(env, photo_backup_app())
+            controller.profile_offline()
+            controller.plan(input_mb=4.0)
+            report = controller.run_workload(
+                [Job(controller.app, input_mb=4.0, deadline=3600.0)]
+            )
+            return report.results[0].cloud_cost_usd
+
+        assert run(True) > run(False)
+
+    def test_egress_price_steers_partition(self):
+        """With egress at absurd prices, the planner avoids cutting
+        cloud→local edges that carry real data."""
+        from repro import Environment, OffloadController, photo_backup_app
+        from repro.storage import StoragePricing
+
+        expensive = Environment.build(
+            seed=4,
+            storage_pricing=StoragePricing(egress_price_per_gb=1e5),
+        )
+        controller = OffloadController(expensive, photo_backup_app())
+        controller.profile_offline()
+        context = controller.build_context(4.0)
+        assert context.egress_price_per_gb == 1e5
+        partition = controller.partitioner.partition(context)
+        # Every cloud→local edge must carry (almost) no data.
+        app = controller.app
+        for flow in app.flows:
+            if partition.is_cloud(flow.src) and not partition.is_cloud(flow.dst):
+                assert flow.bytes_for(4.0) < 10_000, (flow.src, flow.dst)

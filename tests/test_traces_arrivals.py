@@ -1,0 +1,143 @@
+"""Tests for arrival-process generators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStream
+from repro.traces import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+
+
+class TestDeterministicArrivals:
+    def test_explicit_times(self):
+        process = DeterministicArrivals(times=[1.0, 3.0, 9.0])
+        assert list(process.times(horizon=10.0)) == [1.0, 3.0, 9.0]
+
+    def test_horizon_cuts_off(self):
+        process = DeterministicArrivals(times=[1.0, 3.0, 9.0])
+        assert list(process.times(horizon=5.0)) == [1.0, 3.0]
+
+    def test_exhausted_returns_inf(self):
+        process = DeterministicArrivals(times=[1.0])
+        assert process.next_after(2.0) == math.inf
+
+    def test_periodic(self):
+        process = DeterministicArrivals(period=2.0)
+        assert list(process.times(horizon=7.0)) == [2.0, 4.0, 6.0]
+
+    def test_periodic_with_offset(self):
+        process = DeterministicArrivals(period=2.0, offset=0.5)
+        assert process.next_after(0.0) == pytest.approx(0.5)
+        assert process.next_after(0.5) == pytest.approx(2.5)
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals()
+        with pytest.raises(ValueError):
+            DeterministicArrivals(times=[1.0], period=2.0)
+
+    def test_period_positive(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(period=0.0)
+
+
+class TestPoissonArrivals:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, RngStream(0))
+
+    def test_strictly_increasing(self):
+        process = PoissonArrivals(2.0, RngStream(1))
+        times = list(process.times(horizon=50.0))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_empirical_rate_close(self):
+        process = PoissonArrivals(5.0, RngStream(2))
+        times = list(process.times(horizon=2000.0))
+        empirical = len(times) / 2000.0
+        assert empirical == pytest.approx(5.0, rel=0.1)
+
+    def test_reproducible(self):
+        a = list(PoissonArrivals(1.0, RngStream(3)).times(horizon=20.0))
+        b = list(PoissonArrivals(1.0, RngStream(3)).times(horizon=20.0))
+        assert a == b
+
+
+class TestDiurnalArrivals:
+    def test_validation(self):
+        rng = RngStream(0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(0.0, 0.5, rng)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, 0.5, rng, period=0.0)
+
+    def test_rate_modulates(self):
+        process = DiurnalArrivals(10.0, 0.8, RngStream(1), period=100.0)
+        peak = process.rate_at(25.0)  # sin peaks at quarter period
+        trough = process.rate_at(75.0)
+        assert peak == pytest.approx(18.0)
+        assert trough == pytest.approx(2.0)
+
+    def test_mean_rate_preserved(self):
+        process = DiurnalArrivals(4.0, 0.6, RngStream(2), period=100.0)
+        times = list(process.times(horizon=5000.0))
+        assert len(times) / 5000.0 == pytest.approx(4.0, rel=0.15)
+
+    def test_peak_denser_than_trough(self):
+        process = DiurnalArrivals(4.0, 0.9, RngStream(3), period=1000.0)
+        times = list(process.times(horizon=20_000.0))
+        peak_hits = sum(1 for t in times if (t % 1000.0) < 500.0)
+        trough_hits = len(times) - peak_hits
+        assert peak_hits > 1.5 * trough_hits
+
+
+class TestBurstyArrivals:
+    def test_validation(self):
+        rng = RngStream(0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(0.0, 1.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1.0, 1.0, 0.0, 1.0, rng)
+
+    def test_strictly_increasing(self):
+        process = BurstyArrivals(0.5, 20.0, 50.0, 5.0, RngStream(4))
+        times = list(process.times(horizon=500.0))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_between_regimes(self):
+        calm_rate, burst_rate = 1.0, 30.0
+        process = BurstyArrivals(calm_rate, burst_rate, 50.0, 10.0, RngStream(5))
+        times = list(process.times(horizon=20_000.0))
+        empirical = len(times) / 20_000.0
+        assert calm_rate < empirical < burst_rate
+
+    def test_burstiness_visible(self):
+        """Interarrival CV of an MMPP exceeds the Poisson CV of 1."""
+        process = BurstyArrivals(0.2, 50.0, 100.0, 5.0, RngStream(6))
+        times = list(process.times(horizon=20_000.0))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(variance) / mean
+        assert cv > 1.3
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=20.0),
+    horizon=st.floats(min_value=1.0, max_value=200.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_all_arrivals_within_horizon(rate, horizon, seed):
+    process = PoissonArrivals(rate, RngStream(seed))
+    for t in process.times(horizon=horizon):
+        assert 0.0 < t <= horizon

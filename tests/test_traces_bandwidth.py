@@ -1,0 +1,164 @@
+"""Tests for bandwidth traces and exact transfer-time integration."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStream
+from repro.traces import (
+    ConstantBandwidth,
+    DiurnalBandwidth,
+    MarkovBandwidth,
+    StepBandwidth,
+)
+
+
+class TestConstantBandwidth:
+    def test_rate_everywhere(self):
+        trace = ConstantBandwidth(1000.0)
+        assert trace.rate_at(0.0) == 1000.0
+        assert trace.rate_at(1e9) == 1000.0
+        assert trace.next_change_after(5.0) == math.inf
+
+    def test_transfer_time_linear(self):
+        trace = ConstantBandwidth(100.0)
+        assert trace.transfer_time(0.0, 250.0) == pytest.approx(2.5)
+
+    def test_zero_bytes_instant(self):
+        assert ConstantBandwidth(10.0).transfer_time(3.0, 0.0) == 0.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(10.0).transfer_time(0.0, -1.0)
+
+
+class TestStepBandwidth:
+    def test_steps_select_rate(self):
+        trace = StepBandwidth([(0.0, 100.0), (10.0, 50.0)])
+        assert trace.rate_at(5.0) == 100.0
+        assert trace.rate_at(10.0) == 50.0
+        assert trace.rate_at(99.0) == 50.0
+
+    def test_next_change(self):
+        trace = StepBandwidth([(0.0, 100.0), (10.0, 50.0)])
+        assert trace.next_change_after(3.0) == 10.0
+        assert trace.next_change_after(10.0) == math.inf
+
+    def test_transfer_spanning_steps_is_exact(self):
+        # 100 B/s for 10 s = 1000 B, then 50 B/s. 1500 B total:
+        # 1000 B in the first 10 s, remaining 500 B at 50 B/s = 10 s more.
+        trace = StepBandwidth([(0.0, 100.0), (10.0, 50.0)])
+        assert trace.transfer_time(0.0, 1500.0) == pytest.approx(20.0)
+
+    def test_transfer_through_outage(self):
+        trace = StepBandwidth([(0.0, 100.0), (5.0, 0.0), (15.0, 100.0)])
+        # 500 B in 5 s, 10 s outage, 500 B in 5 s more -> 20 s.
+        assert trace.transfer_time(0.0, 1000.0) == pytest.approx(20.0)
+
+    def test_permanent_outage_raises(self):
+        trace = StepBandwidth([(0.0, 0.0)])
+        with pytest.raises(RuntimeError):
+            trace.transfer_time(0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepBandwidth([])
+        with pytest.raises(ValueError):
+            StepBandwidth([(1.0, 10.0)])  # must start at/before 0
+        with pytest.raises(ValueError):
+            StepBandwidth([(0.0, 10.0), (0.0, 20.0)])  # not increasing
+        with pytest.raises(ValueError):
+            StepBandwidth([(0.0, -5.0)])
+
+    @given(
+        nbytes=st.floats(min_value=0.0, max_value=1e6),
+        start=st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_time_consistency(self, nbytes, start):
+        """Moving the full payload takes at least nbytes/peak_rate."""
+        trace = StepBandwidth([(0.0, 200.0), (20.0, 50.0), (60.0, 400.0)])
+        elapsed = trace.transfer_time(start, nbytes)
+        assert elapsed >= nbytes / 400.0 - 1e-9
+
+    @given(
+        split=st.floats(min_value=0.0, max_value=1.0),
+        nbytes=st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_time_additive(self, split, nbytes):
+        """Transferring A then B back-to-back equals transferring A+B."""
+        trace = StepBandwidth([(0.0, 200.0), (13.0, 37.0), (40.0, 500.0)])
+        first = nbytes * split
+        second = nbytes - first
+        t_first = trace.transfer_time(0.0, first)
+        t_second = trace.transfer_time(t_first, second)
+        t_whole = trace.transfer_time(0.0, nbytes)
+        assert t_first + t_second == pytest.approx(t_whole, rel=1e-9, abs=1e-9)
+
+
+class TestMarkovBandwidth:
+    def test_starts_good(self):
+        trace = MarkovBandwidth(100.0, 10.0, 50.0, 5.0, RngStream(1))
+        assert trace.rate_at(0.0) == 100.0
+
+    def test_alternates_states(self):
+        trace = MarkovBandwidth(100.0, 10.0, 5.0, 5.0, RngStream(2))
+        rates = {trace.rate_at(t) for t in range(0, 200)}
+        assert rates == {100.0, 10.0}
+
+    def test_queries_consistent(self):
+        trace = MarkovBandwidth(100.0, 10.0, 5.0, 5.0, RngStream(3))
+        first = [trace.rate_at(t) for t in range(50)]
+        second = [trace.rate_at(t) for t in range(50)]
+        assert first == second
+
+    def test_next_change_is_boundary(self):
+        trace = MarkovBandwidth(100.0, 10.0, 5.0, 5.0, RngStream(4))
+        boundary = trace.next_change_after(0.0)
+        assert trace.rate_at(boundary - 1e-6) != trace.rate_at(boundary + 1e-6)
+
+    def test_validation(self):
+        rng = RngStream(0)
+        with pytest.raises(ValueError):
+            MarkovBandwidth(0.0, 1.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            MarkovBandwidth(1.0, -1.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            MarkovBandwidth(1.0, 1.0, 0.0, 1.0, rng)
+
+    def test_transfer_across_states(self):
+        trace = MarkovBandwidth(100.0, 1.0, 10.0, 10.0, RngStream(5))
+        elapsed = trace.transfer_time(0.0, 5000.0)
+        assert elapsed >= 50.0  # at least nbytes / good_rate
+
+
+class TestDiurnalBandwidth:
+    def test_piecewise_constant_within_slot(self):
+        trace = DiurnalBandwidth(100.0, 0.5, period=1000.0, slot=10.0)
+        assert trace.rate_at(3.0) == trace.rate_at(9.999)
+
+    def test_changes_at_slot_boundary(self):
+        trace = DiurnalBandwidth(100.0, 0.5, period=40.0, slot=10.0)
+        assert trace.next_change_after(3.0) == 10.0
+
+    def test_oscillates_around_base(self):
+        trace = DiurnalBandwidth(100.0, 0.5, period=100.0, slot=1.0)
+        rates = [trace.rate_at(t) for t in range(100)]
+        assert max(rates) > 130.0
+        assert min(rates) < 70.0
+        assert min(rates) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalBandwidth(0.0, 0.5)
+        with pytest.raises(ValueError):
+            DiurnalBandwidth(10.0, 1.0)
+        with pytest.raises(ValueError):
+            DiurnalBandwidth(10.0, 0.5, slot=0.0)

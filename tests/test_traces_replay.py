@@ -1,0 +1,139 @@
+"""Tests for workload trace import/export."""
+
+import json
+import math
+
+import pytest
+
+from repro import Environment, Job, OffloadController, photo_backup_app
+from repro.apps import nightly_analytics_app
+from repro.apps.catalog import CATALOG
+from repro.traces.replay import (
+    TRACE_VERSION,
+    job_to_record,
+    load_report_summary,
+    load_workload,
+    record_to_job,
+    save_report,
+    save_workload,
+)
+
+
+def resolver(name):
+    return CATALOG[name]()
+
+
+class TestJobRecords:
+    def test_roundtrip(self):
+        app = photo_backup_app()
+        job = Job(app, input_mb=3.5, released_at=10.0, deadline=100.0)
+        rebuilt = record_to_job(job_to_record(job), {"photo_backup": app})
+        assert rebuilt.app.name == "photo_backup"
+        assert rebuilt.input_mb == 3.5
+        assert rebuilt.released_at == 10.0
+        assert rebuilt.deadline == 100.0
+
+    def test_infinite_deadline_serialised_as_string(self):
+        job = Job(photo_backup_app(), input_mb=1.0)
+        record = job_to_record(job)
+        assert record["deadline"] == "inf"
+        rebuilt = record_to_job(record, resolver)
+        assert math.isinf(rebuilt.deadline)
+
+    def test_missing_fields_defaulted(self):
+        job = record_to_job({"app": "photo_backup"}, resolver)
+        assert job.input_mb == 1.0
+        assert job.released_at == 0.0
+        assert math.isinf(job.deadline)
+
+    def test_unknown_app_rejected_by_mapping(self):
+        with pytest.raises(KeyError):
+            record_to_job({"app": "ghost"}, {"photo_backup": photo_backup_app()})
+
+
+class TestWorkloadFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        app = photo_backup_app()
+        jobs = [
+            Job(app, input_mb=2.0, released_at=50.0, deadline=500.0),
+            Job(app, input_mb=4.0, released_at=10.0, deadline=300.0),
+        ]
+        path = tmp_path / "trace.json"
+        save_workload(path, jobs)
+        loaded = load_workload(path, resolver)
+        assert len(loaded) == 2
+        # Sorted by release time on load.
+        assert [job.released_at for job in loaded] == [10.0, 50.0]
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "jobs": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_workload(path, resolver)
+
+    def test_mixed_apps(self, tmp_path):
+        jobs = [
+            Job(photo_backup_app(), input_mb=1.0, released_at=0.0),
+            Job(nightly_analytics_app(), input_mb=2.0, released_at=5.0),
+        ]
+        path = tmp_path / "mixed.json"
+        save_workload(path, jobs)
+        loaded = load_workload(path, resolver)
+        assert {job.app.name for job in loaded} == {
+            "photo_backup", "nightly_analytics"
+        }
+
+    def test_loaded_trace_is_runnable(self, tmp_path):
+        app = photo_backup_app()
+        jobs = [
+            Job(app, input_mb=2.0, released_at=30.0 * i, deadline=30.0 * i + 3600)
+            for i in range(3)
+        ]
+        path = tmp_path / "run.json"
+        save_workload(path, jobs)
+
+        env = Environment.build(seed=1)
+        controller = OffloadController(env, photo_backup_app())
+        controller.profile_offline()
+        controller.plan(input_mb=2.0)
+        loaded = load_workload(path, lambda name: controller.app)
+        report = controller.run_workload(loaded)
+        assert report.jobs_completed == 3
+
+
+class TestReportFiles:
+    def make_report(self):
+        env = Environment.build(seed=2)
+        controller = OffloadController(env, photo_backup_app())
+        controller.profile_offline()
+        controller.plan(input_mb=2.0)
+        jobs = [Job(controller.app, input_mb=2.0, deadline=3600.0)]
+        return controller.run_workload(jobs)
+
+    def test_save_and_read_summary(self, tmp_path):
+        report = self.make_report()
+        path = tmp_path / "report.json"
+        save_report(path, report)
+        summary = load_report_summary(path)
+        assert summary["jobs_completed"] == 1
+        assert summary["deadline_miss_rate"] == 0.0
+        assert summary["total_ue_energy_j"] == pytest.approx(
+            report.total_ue_energy_j
+        )
+
+    def test_per_job_records_present(self, tmp_path):
+        report = self.make_report()
+        path = tmp_path / "report.json"
+        save_report(path, report)
+        payload = json.loads(path.read_text())
+        assert len(payload["results"]) == 1
+        record = payload["results"][0]
+        assert record["met_deadline"] is True
+        assert record["response_s"] > 0
+        assert payload["failures"] == []
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 0, "summary": {}}))
+        with pytest.raises(ValueError):
+            load_report_summary(path)
