@@ -47,6 +47,14 @@ from repro.core import (
     Partition,
     PartitionContext,
 )
+from repro.faults import (
+    DegradationPolicy,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultWindow,
+    inject_faults,
+)
 from repro.serverless import FunctionSpec, ServerlessPlatform
 from repro.sim import Simulator
 
@@ -59,9 +67,14 @@ __all__ = [
     "CostWindowScheduler",
     "DataFlow",
     "DeadlineBatcher",
+    "DegradationPolicy",
     "DemandModel",
     "EagerScheduler",
     "Environment",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultWindow",
     "FunctionSpec",
     "Job",
     "JobResult",
@@ -75,6 +88,7 @@ __all__ = [
     "ServerlessPlatform",
     "Simulator",
     "__version__",
+    "inject_faults",
     "ml_training_app",
     "nightly_analytics_app",
     "photo_backup_app",

@@ -40,9 +40,20 @@ from repro.metrics import MetricRegistry
 from repro.network.link import NetworkPath
 from repro.network.profiles import cloud_path, profile as connectivity_profile
 from repro.profiling.profiler import DemandObservation, Profiler
+from repro.faults.policy import DegradationPolicy
 from repro.serverless.function import FunctionSpec, InvocationRequest
-from repro.serverless.retry import RetryPolicy, invoke_with_retries
-from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.retry import (
+    RetriesExhaustedError,
+    RetryPolicy,
+    invoke_hedged,
+    invoke_with_retries,
+)
+from repro.serverless.platform import (
+    InvocationFailedError,
+    PlatformConfig,
+    ServerlessPlatform,
+    ThrottledError,
+)
 from repro.storage.objectstore import ObjectStore, StoragePricing
 from repro.sim import Event, Simulator
 from repro.sim.rng import RngStream, SeedSequenceRegistry
@@ -297,6 +308,7 @@ class OffloadController:
         retry_policy: Optional[RetryPolicy] = None,
         dvfs: bool = False,
         admission_control: bool = False,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -325,12 +337,20 @@ class OffloadController:
         #: rejected at submission instead of burning energy and dollars
         #: on a guaranteed miss.
         self.admission_control = admission_control
+        #: Optional graceful-degradation responses (outage-aware backoff,
+        #: hedged duplicates, fallback-to-local).  None keeps the legacy
+        #: retry-only cloud path, byte-identical to pre-fault behaviour.
+        self.degradation = degradation
 
         self.partition: Optional[Partition] = None
         self.allocation: Dict[str, AllocationDecision] = {}
         self._jobs_since_replan = 0
         self._exec_rng = env.rng.stream(f"controller.{app.name}.exec")
         self._planned_input_mb: float = 1.0
+        #: Last-known-good link rates, held across injected outages so
+        #: planning mid-outage uses the estimator's memory instead of an
+        #: unusable instantaneous zero.
+        self._last_rates: Dict[str, float] = {}
 
     # -- planning --------------------------------------------------------
 
@@ -347,9 +367,23 @@ class OffloadController:
         observations = profiler.profile(self.app, input_sizes_mb, repetitions)
         self.demand.observe_profile(observations)
 
+    def _usable_rate(self, path: NetworkPath, key: str) -> float:
+        """Bottleneck rate for planning, riding through link outages.
+
+        An injected outage makes the instantaneous rate zero, which no
+        plan can use; real bandwidth estimators hold their last estimate
+        instead.  A link never yet seen up prices in at 1 kbit/s, which
+        makes remote work prohibitively expensive and plans the job
+        locally — the right call while the radio is dark.
+        """
+        rate = path.bottleneck_rate(self.env.sim.now)
+        if rate > 0:
+            self._last_rates[key] = rate
+            return rate
+        return self._last_rates.get(key, 125.0)
+
     def build_context(self, input_mb: float) -> PartitionContext:
         """A planning context at the current network conditions."""
-        now = self.env.sim.now
         work = {
             name: self.demand.predict(name, input_mb)
             for name in self.app.component_names
@@ -365,9 +399,9 @@ class OffloadController:
             energy=self.env.ue.spec.energy,
             billing=self.env.platform.config.billing,
             memory_plan=memory_plan,
-            uplink_bps=self.env.uplink.bottleneck_rate(now),
+            uplink_bps=self._usable_rate(self.env.uplink, "uplink"),
             uplink_latency_s=self.env.uplink.total_latency_s,
-            downlink_bps=self.env.downlink.bottleneck_rate(now),
+            downlink_bps=self._usable_rate(self.env.downlink, "downlink"),
             downlink_latency_s=self.env.downlink.total_latency_s,
             egress_price_per_gb=(
                 self.env.storage.pricing.egress_price_per_gb
@@ -534,24 +568,31 @@ class OffloadController:
             nominal = job.component_work(name)
             actual = self.env.actual_work(nominal, self._exec_rng)
             if partition.is_cloud(name):
-                entered = sim.now
-                outcome = yield invoke_with_retries(
-                    self.env.platform,
-                    InvocationRequest(
-                        function=self._function_name(name),
-                        work_gcycles=actual,
-                        payload_bytes=0.0,
-                        tag=f"job{job.job_id}",
-                    ),
-                    policy=self.retry_policy,
-                    rng=self._exec_rng,
+                request = InvocationRequest(
+                    function=self._function_name(name),
+                    work_gcycles=actual,
+                    payload_bytes=0.0,
+                    tag=f"job{job.job_id}",
                 )
-                cost_usd += outcome.total_cost
-                # The UE idles for the whole cloud episode, retries included.
-                charge(
-                    "idle",
-                    self.env.ue.spec.energy.idle_energy(sim.now - entered),
-                )
+                if self.degradation is None:
+                    entered = sim.now
+                    outcome = yield invoke_with_retries(
+                        self.env.platform,
+                        request,
+                        policy=self.retry_policy,
+                        rng=self._exec_rng,
+                    )
+                    cost_usd += outcome.total_cost
+                    # The UE idles for the whole cloud episode, retries
+                    # included.
+                    charge(
+                        "idle",
+                        self.env.ue.spec.energy.idle_energy(sim.now - entered),
+                    )
+                else:
+                    cost_usd += yield from self._degraded_cloud_episode(
+                        job, request, actual, frequency, charge
+                    )
             else:
                 execution = yield self.env.ue.execute(
                     actual, frequency_fraction=frequency
@@ -651,6 +692,86 @@ class OffloadController:
         if not result.met_deadline:
             metrics.counter(f"{app.name}.deadline_misses").increment()
         return result
+
+    def _degraded_cloud_episode(
+        self,
+        job: Job,
+        request: InvocationRequest,
+        actual_gcycles: float,
+        frequency: float,
+        charge: Callable[[str, float], None],
+    ) -> Generator[Event, Any, float]:
+        """One cloud component under the degradation policy.
+
+        Delegated into from the job process (``yield from``); returns the
+        USD cost attributed to the job.  The cloud episode (hedged,
+        outage-aware retries) races a fallback budget derived from the
+        job's remaining deadline slack: when the budget elapses or the
+        cloud fails terminally, the component runs on the UE instead — an
+        abandoned cloud lane keeps billing the platform ledger, exactly
+        like a real request nobody is waiting for anymore.
+        """
+        sim = self.env.sim
+        degradation = self.degradation
+        assert degradation is not None
+        metrics = self.env.metrics
+        entered = sim.now
+        episode = invoke_hedged(
+            self.env.platform,
+            request,
+            policy=self.retry_policy,
+            rng=self._exec_rng,
+            hedge_after_s=degradation.hedge_after_s,
+            outage_aware=degradation.outage_aware_backoff,
+        )
+
+        def guarded() -> Generator[Event, Any, tuple]:
+            try:
+                value = yield episode
+            except BaseException as error:  # noqa: BLE001 - relayed below
+                return (False, error)
+            return (True, value)
+
+        guard = sim.spawn(guarded(), name=f"{self.app.name}.cloud.guard")
+        budget = degradation.fallback_budget(entered, job.deadline)
+        if budget is None:
+            ok, payload = yield guard
+        else:
+            yield sim.any_of([guard, sim.timeout(budget)])
+            if guard.triggered:
+                ok, payload = guard.value
+            else:
+                episode.interrupt("fallback-to-local")
+                ok, payload = False, None
+
+        # The UE idles for the whole cloud episode, retries included.
+        charge("idle", self.env.ue.spec.energy.idle_energy(sim.now - entered))
+        cost = 0.0
+        if ok:
+            cost += payload.total_cost
+            if payload.attempts > 1:
+                metrics.counter(f"{self.app.name}.attempts_wasted").increment(
+                    payload.attempts - 1
+                )
+            return cost
+
+        cloud_errors = (RetriesExhaustedError, InvocationFailedError, ThrottledError)
+        if payload is not None and not isinstance(payload, cloud_errors):
+            raise payload  # a programming error, not infrastructure trouble
+        if isinstance(payload, RetriesExhaustedError):
+            cost += payload.wasted_usd
+            metrics.counter(f"{self.app.name}.attempts_wasted").increment(
+                payload.attempts
+            )
+        if not degradation.fallback_local:
+            assert payload is not None  # budget requires fallback_local
+            raise payload
+        metrics.counter(f"{self.app.name}.fallbacks").increment()
+        execution = yield self.env.ue.execute(
+            actual_gcycles, frequency_fraction=frequency
+        )
+        charge("compute", execution.energy_j)
+        return cost
 
     def _maybe_replan(self, job: Job) -> None:
         if not self.adaptive:

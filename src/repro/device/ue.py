@@ -142,6 +142,21 @@ class UserEquipment:
         self._battery.get(joules)
         self.metrics.counter(f"{self.spec.name}.energy_j").increment(joules)
 
+    def brownout(self, fraction: float) -> None:
+        """Instantly lose ``fraction`` of the *remaining* charge.
+
+        Models a power fault (battery sag, a misbehaving app draining the
+        pack): unlike :meth:`_drain` this never raises — a brownout takes
+        what is there.  Fault injection schedules these at window starts.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        loss = self._battery.level * fraction
+        if loss > 0:
+            self._battery.get(loss)
+        self.metrics.counter(f"{self.spec.name}.brownouts").increment()
+        self.metrics.counter(f"{self.spec.name}.brownout_j").increment(loss)
+
     def recharge(self, joules: Optional[float] = None) -> None:
         """Add charge (full recharge when ``joules`` is None)."""
         room = self.spec.battery_capacity_j - self._battery.level

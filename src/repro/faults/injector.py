@@ -1,0 +1,202 @@
+"""Realising a :class:`~repro.faults.schedule.FaultSchedule` in a world.
+
+Three adapters map schedule windows onto the substrates:
+
+* :class:`FaultedBandwidth` wraps a link's
+  :class:`~repro.traces.bandwidth.BandwidthTrace`, zeroing the rate during
+  ``LINK_OUTAGE`` windows and scaling it during ``LINK_DEGRADED`` windows
+  while preserving the piecewise-constant contract (rates only change at
+  window or base-trace boundaries, so transfer-time integration stays
+  exact).
+* :class:`PlatformFaultModel` is what the serverless platform consults
+  per invocation: zone outages, spot-style sandbox reclamation, and
+  straggler slowdowns.  Reclamation draws come from a dedicated
+  :class:`~repro.sim.rng.RngStream` so chaos stays reproducible and never
+  perturbs the platform's own failure stream.
+* :class:`FaultInjector` wires one schedule into an
+  :class:`~repro.core.controller.Environment`: link traces are wrapped,
+  the platform gets its fault model, and battery brownouts are scheduled
+  as kernel callbacks on the UE.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.schedule import LINK_KINDS, FaultKind, FaultSchedule, FaultWindow
+from repro.sim.rng import RngStream
+from repro.traces.bandwidth import BandwidthTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.controller import Environment
+
+
+class FaultedBandwidth(BandwidthTrace):
+    """A bandwidth trace with outage/degradation windows applied."""
+
+    def __init__(
+        self,
+        base: BandwidthTrace,
+        schedule: FaultSchedule,
+        target: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.schedule = schedule
+        self.target = target
+
+    def rate_at(self, t: float) -> float:
+        if self.schedule.is_active(FaultKind.LINK_OUTAGE, t, self.target):
+            return 0.0
+        factor = self.schedule.magnitude_at(
+            FaultKind.LINK_DEGRADED, t, self.target, default=1.0
+        )
+        return self.base.rate_at(t) * factor
+
+    def next_change_after(self, t: float) -> float:
+        return min(
+            self.base.next_change_after(t),
+            self.schedule.next_boundary_after(t, kinds=LINK_KINDS, target=self.target),
+        )
+
+
+class PlatformFaultModel:
+    """The platform-facing view of a fault schedule.
+
+    ``zone`` names the platform (windows scoped to other targets do not
+    apply); ``rng`` feeds the reclamation coin-flips.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        rng: Optional[RngStream] = None,
+        zone: Optional[str] = None,
+    ) -> None:
+        if schedule.has_kind(FaultKind.SANDBOX_RECLAIM) and rng is None:
+            raise ValueError(
+                "sandbox reclamation requires an RngStream (pass rng=...)"
+            )
+        self.schedule = schedule
+        self.rng = rng
+        self.zone = zone
+
+    def outage_active(self, now: float) -> bool:
+        """True when a zone outage covers ``now``."""
+        return self.schedule.is_active(FaultKind.ZONE_OUTAGE, now, self.zone)
+
+    def outage_clear_time(self, at: float) -> Optional[float]:
+        """When the outage covering ``at`` ends, or ``None`` if no outage."""
+        if not self.outage_active(at):
+            return None
+        return self.schedule.clear_time(FaultKind.ZONE_OUTAGE, at, self.zone)
+
+    def slowdown_factor(self, started_at: float) -> float:
+        """Straggler multiplier for an execution starting at ``started_at``."""
+        return self.schedule.magnitude_at(
+            FaultKind.STRAGGLER, started_at, self.zone, default=1.0
+        )
+
+    def reclaim_time(self, started_at: float, duration: float) -> Optional[float]:
+        """When (if ever) a sandbox running ``[started_at, +duration)`` dies.
+
+        Each reclaim window overlapping the execution kills it with
+        probability ``magnitude``, at a uniformly drawn instant inside the
+        overlap.  Returns the earliest such instant, or ``None``.
+        """
+        if duration <= 0:
+            return None
+        end = started_at + duration
+        for window in self.schedule.overlapping(
+            FaultKind.SANDBOX_RECLAIM, started_at, end, self.zone
+        ):
+            assert self.rng is not None  # enforced in __init__
+            if not self.rng.bernoulli(window.magnitude):
+                continue
+            lo = max(started_at, window.start)
+            hi = min(end, window.end)
+            if hi <= lo:
+                continue
+            return self.rng.uniform(lo, hi)
+        return None
+
+
+class FaultInjector:
+    """Wires a fault schedule into an environment, once, up front.
+
+    The injector mutates the environment in place: link traces are
+    wrapped, ``env.platform.faults`` is installed, and every brownout
+    window schedules a kernel callback.  Injection counts are recorded
+    under ``faults.injected`` / ``faults.injected.<kind>`` so chaos runs
+    report exactly what they injected.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, rng: Optional[RngStream] = None
+    ) -> None:
+        self.schedule = schedule
+        self.rng = rng
+        self._attached = False
+
+    def attach(self, env: "Environment") -> "FaultInjector":
+        """Apply the schedule to ``env``; returns self for chaining."""
+        if self._attached:
+            raise RuntimeError("a FaultInjector can only be attached once")
+        # Guard the environment too: a second schedule would silently
+        # double-wrap link traces (degradation factors compose) and
+        # re-schedule brownout drains.
+        if getattr(env, "fault_injector", None) is not None:
+            raise RuntimeError(
+                "environment already has a fault schedule attached"
+            )
+        self._attached = True
+        env.fault_injector = self
+        schedule = self.schedule
+
+        if schedule.has_kind(*LINK_KINDS):
+            for path, target in ((env.uplink, "uplink"), (env.downlink, "downlink")):
+                # Only the access hop (the volatile last-mile radio link)
+                # is faulted; WAN hops are the carrier's stable backbone.
+                path.links[0].apply_faults(schedule, target)
+
+        if schedule.has_kind(
+            FaultKind.ZONE_OUTAGE, FaultKind.SANDBOX_RECLAIM, FaultKind.STRAGGLER
+        ):
+            env.platform.faults = PlatformFaultModel(
+                schedule, rng=self.rng, zone=env.platform.name
+            )
+
+        now = env.sim.now
+        for window in schedule.windows_for(FaultKind.BATTERY_BROWNOUT):
+            env.sim.call_at(
+                max(window.start, now),
+                lambda fraction=window.magnitude: env.ue.brownout(fraction),
+            )
+
+        for window in schedule.windows:
+            env.metrics.counter("faults.injected").increment()
+            env.metrics.counter(f"faults.injected.{window.kind.value}").increment()
+        return self
+
+
+def inject_faults(
+    env: "Environment",
+    schedule: FaultSchedule,
+    rng: Optional[RngStream] = None,
+) -> FaultInjector:
+    """Convenience: build an injector for ``schedule`` and attach it.
+
+    When reclamation windows are present and ``rng`` is omitted, a
+    dedicated ``faults`` stream is derived from the environment's seed
+    registry, keeping reclaim draws independent of every other consumer.
+    """
+    if rng is None and schedule.has_kind(FaultKind.SANDBOX_RECLAIM):
+        rng = env.rng.stream("faults")
+    return FaultInjector(schedule, rng=rng).attach(env)
+
+
+__all__ = [
+    "FaultInjector",
+    "FaultedBandwidth",
+    "PlatformFaultModel",
+    "inject_faults",
+]

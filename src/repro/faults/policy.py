@@ -1,0 +1,75 @@
+"""Graceful-degradation knobs for the offloading controller.
+
+The paper's central observation — non-time-criticality buys slack — turns
+infrastructure trouble from a failure into a scheduling problem.  A
+:class:`DegradationPolicy` tells the controller which of the three
+degradation responses to use:
+
+* **outage-aware backoff** — retries consult the platform's outage
+  windows and wait them out instead of burning attempts into a dead zone;
+* **hedged invocations** — a duplicate invocation is launched when the
+  primary has been running suspiciously long (straggler mitigation, at
+  the price of occasional duplicate spend);
+* **fallback to local** — when the cloud episode exceeds a budget derived
+  from the job's remaining deadline slack, the component is abandoned to
+  the cloud and executed on the UE instead, trading energy for certainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Configuration of the controller's degradation responses.
+
+    Parameters
+    ----------
+    outage_aware_backoff:
+        Delay (re)attempts until a known platform outage clears.
+    hedge_after_s:
+        Launch a duplicate invocation when the primary has not finished
+        after this many seconds (``None`` disables hedging).
+    fallback_local:
+        Execute a component on the UE when its cloud episode fails
+        terminally or exceeds the fallback budget.
+    fallback_after_s:
+        Absolute cap on one component's cloud episode, in seconds.
+    fallback_slack_fraction:
+        Fraction of the job's remaining deadline slack one cloud episode
+        may consume before falling back; only binds for finite deadlines.
+    """
+
+    outage_aware_backoff: bool = True
+    hedge_after_s: Optional[float] = None
+    fallback_local: bool = True
+    fallback_after_s: float = math.inf
+    fallback_slack_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ValueError("hedge_after_s must be > 0 (or None)")
+        if self.fallback_after_s <= 0:
+            raise ValueError("fallback_after_s must be > 0")
+        if not 0.0 < self.fallback_slack_fraction <= 1.0:
+            raise ValueError("fallback_slack_fraction must be in (0, 1]")
+
+    def fallback_budget(self, now: float, deadline: float) -> Optional[float]:
+        """Seconds a cloud episode starting at ``now`` may take before the
+        controller abandons it for local execution; ``None`` when no
+        finite budget applies (fallback then only triggers on terminal
+        cloud failure)."""
+        if not self.fallback_local:
+            return None
+        budget = self.fallback_after_s
+        if math.isfinite(deadline):
+            budget = min(
+                budget, max((deadline - now) * self.fallback_slack_fraction, 0.0)
+            )
+        return budget if math.isfinite(budget) else None
+
+
+__all__ = ["DegradationPolicy"]

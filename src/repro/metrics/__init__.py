@@ -21,6 +21,7 @@ from repro.metrics.collectors import (
     MetricRegistry,
     Summary,
     TimeWeightedAverage,
+    stable_digest,
 )
 from repro.metrics.charts import ascii_bars, ascii_line
 from repro.metrics.tables import Table, render_table
@@ -35,4 +36,5 @@ __all__ = [
     "ascii_bars",
     "ascii_line",
     "render_table",
+    "stable_digest",
 ]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 
 class Counter:
@@ -251,10 +252,23 @@ class MetricRegistry:
         )
 
 
+def stable_digest(snapshot: Mapping[str, float]) -> str:
+    """Canonical SHA-256 over a metric snapshot.
+
+    Keys are sorted and values rendered with ``repr`` (full float
+    precision, so any bit-level drift changes the digest) — the primitive
+    the golden-trace regression harness and the chaos benchmark use to
+    assert that two runs were *identical*, not merely similar.
+    """
+    lines = [f"{key}={snapshot[key]!r}" for key in sorted(snapshot)]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
 __all__ = [
     "Counter",
     "Gauge",
     "MetricRegistry",
     "Summary",
     "TimeWeightedAverage",
+    "stable_digest",
 ]

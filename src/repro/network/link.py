@@ -95,6 +95,19 @@ class Link:
         """Transfers currently waiting for a channel."""
         return self._channels.queue_length
 
+    def apply_faults(self, schedule, target: Optional[str] = None) -> None:
+        """Overlay a :class:`~repro.faults.schedule.FaultSchedule` on this
+        link: outage windows zero the rate, degradation windows scale it.
+
+        The wrap composes (repeated calls stack schedules) and keeps the
+        piecewise-constant contract, so in-flight planning estimates and
+        transfer integration remain exact.
+        """
+        from repro.faults.injector import FaultedBandwidth
+
+        self.trace = FaultedBandwidth(self.trace, schedule, target)
+        self.metrics.counter(f"{self.name}.fault_overlays").increment()
+
     def estimate_transfer_time(self, nbytes: float, at: Optional[float] = None) -> float:
         """Uncontended estimate of moving ``nbytes`` starting at ``at``.
 

@@ -24,13 +24,17 @@ from repro.serverless.function import (
 from repro.serverless.platform import (
     InvocationFailedError,
     PlatformConfig,
+    PlatformOutageError,
+    SandboxReclaimedError,
     ServerlessPlatform,
     ThrottledError,
 )
 from repro.serverless.retry import (
+    HedgedInvocation,
     RetriedInvocation,
     RetriesExhaustedError,
     RetryPolicy,
+    invoke_hedged,
     invoke_with_retries,
 )
 from repro.serverless.workflow import (
@@ -44,13 +48,16 @@ __all__ = [
     "BillingModel",
     "CostBreakdown",
     "FunctionSpec",
+    "HedgedInvocation",
     "Invocation",
     "InvocationFailedError",
     "InvocationRequest",
     "PlatformConfig",
+    "PlatformOutageError",
     "RetriedInvocation",
     "RetriesExhaustedError",
     "RetryPolicy",
+    "SandboxReclaimedError",
     "ServerlessPlatform",
     "ThrottledError",
     "WorkflowDefinition",
@@ -58,6 +65,7 @@ __all__ = [
     "WorkflowExecution",
     "WorkflowStep",
     "execution_time",
+    "invoke_hedged",
     "invoke_with_retries",
     "vcpus_for_memory",
 ]

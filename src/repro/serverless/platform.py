@@ -36,21 +36,49 @@ class ThrottledError(RuntimeError):
 
 
 class InvocationFailedError(RuntimeError):
-    """A transient execution failure (the sandbox survives).
+    """A transient execution failure (the platform survives).
 
     Carries enough context for retry logic: the function name, how long
     the failed attempt ran, and what it billed.
     """
 
     def __init__(
-        self, function: str, ran_for_s: float, billed_usd: float
+        self,
+        function: str,
+        ran_for_s: float,
+        billed_usd: float,
+        reason: str = "transient failure",
     ) -> None:
         super().__init__(
-            f"{function}: transient failure after {ran_for_s:.3f}s"
+            f"{function}: {reason} after {ran_for_s:.3f}s"
         )
         self.function = function
         self.ran_for_s = ran_for_s
         self.billed_usd = billed_usd
+
+
+class PlatformOutageError(InvocationFailedError):
+    """The platform's zone is down; the invocation was rejected outright.
+
+    Nothing ran and nothing billed — the cost of an outage is the time
+    lost discovering it plus whatever the retry policy burns waiting.
+    """
+
+    def __init__(self, function: str) -> None:
+        super().__init__(function, 0.0, 0.0, reason="zone outage")
+
+
+class SandboxReclaimedError(InvocationFailedError):
+    """The sandbox was reclaimed (spot-style) mid-execution.
+
+    The partial runtime bills, like any transient failure, but the
+    sandbox is destroyed rather than returned to the warm pool.
+    """
+
+    def __init__(self, function: str, ran_for_s: float, billed_usd: float) -> None:
+        super().__init__(
+            function, ran_for_s, billed_usd, reason="sandbox reclaimed"
+        )
 
 
 @dataclass(frozen=True)
@@ -169,6 +197,11 @@ class ServerlessPlatform:
             )
         self._functions: Dict[str, _FunctionState] = {}
         self._invocations: List[Invocation] = []
+        #: Optional :class:`~repro.faults.injector.PlatformFaultModel`
+        #: installed by a fault injector; None means no injected faults
+        #: (and, crucially, no extra RNG draws — existing seeds replay
+        #: identically).
+        self.faults = None
 
     # -- deployment -----------------------------------------------------------
 
@@ -231,12 +264,29 @@ class ServerlessPlatform:
             self._invoke_proc(state, request), name=f"{self.name}.{request.function}"
         )
 
+    def outage_clear_time(self, at: Optional[float] = None) -> Optional[float]:
+        """When the zone outage covering ``at`` (default: now) ends.
+
+        ``None`` when no fault model is installed or no outage is active —
+        outage-aware retry policies use this to land attempts past the
+        dead zone instead of burning them into it.
+        """
+        if self.faults is None:
+            return None
+        t = self.sim.now if at is None else at
+        return self.faults.outage_clear_time(t)
+
     def _invoke_proc(
         self, state: _FunctionState, request: InvocationRequest
     ) -> Generator[Event, object, Invocation]:
         submitted_at = self.sim.now
         spec = state.spec
         limit = spec.concurrency_limit or self.config.default_concurrency
+
+        if self.faults is not None and self.faults.outage_active(self.sim.now):
+            # The zone is dark: the control plane rejects immediately.
+            self.metrics.counter(f"{self.name}.outage_rejections").increment()
+            raise PlatformOutageError(request.function)
 
         instance = state.idle_instance(self.sim.now, self.config.keep_alive_s)
         cold = False
@@ -260,6 +310,12 @@ class ServerlessPlatform:
         started_at = self.sim.now
         duration = spec.duration_for(request.work_gcycles)
 
+        if self.faults is not None:
+            slowdown = self.faults.slowdown_factor(started_at)
+            if slowdown > 1.0:
+                duration *= slowdown
+                self.metrics.counter(f"{self.name}.straggler_slowdowns").increment()
+
         fails = (
             self.config.failure_probability > 0
             and self.rng is not None
@@ -280,6 +336,27 @@ class ServerlessPlatform:
             raise InvocationFailedError(
                 request.function, ran_for, partial.total
             )
+
+        if self.faults is not None:
+            reclaim_at = self.faults.reclaim_time(started_at, duration)
+            if reclaim_at is not None:
+                # The sandbox is reclaimed mid-run: partial runtime bills,
+                # but the sandbox is destroyed, not returned to the pool.
+                ran_for = reclaim_at - started_at
+                yield self.sim.timeout(ran_for)
+                self._reclaim_instance(state, instance, limit)
+                partial = self.config.billing.invocation_cost(
+                    ran_for, spec.memory_mb
+                )
+                state.cost = state.cost + partial
+                self.metrics.counter(f"{self.name}.failures").increment()
+                self.metrics.counter(f"{self.name}.reclamations").increment()
+                self.metrics.counter(f"{self.name}.cost_usd").increment(
+                    partial.total
+                )
+                raise SandboxReclaimedError(
+                    request.function, ran_for, partial.total
+                )
 
         yield self.sim.timeout(duration)
         finished_at = self.sim.now
@@ -310,6 +387,25 @@ class ServerlessPlatform:
         else:
             instance.busy = False
             instance.idle_since = self.sim.now
+
+    def _reclaim_instance(
+        self, state: _FunctionState, instance: _Instance, limit: int
+    ) -> None:
+        """Destroy a reclaimed sandbox; cold-start a replacement if queued
+        requests would otherwise be stranded below the concurrency limit."""
+        state.instances.remove(instance)
+        if state.queue and len(state.instances) < limit:
+            self.sim.spawn(
+                self._replacement_proc(state), name=f"{self.name}.respawn"
+            )
+
+    def _replacement_proc(
+        self, state: _FunctionState
+    ) -> Generator[Event, object, None]:
+        replacement = _Instance(self.sim.now)
+        state.instances.append(replacement)
+        yield self.sim.timeout(self.config.cold_start_duration(state.spec))
+        self._release_instance(state, replacement)
 
     # -- pre-warming (provisioned concurrency) ------------------------------
 
@@ -424,6 +520,8 @@ class ServerlessPlatform:
 __all__ = [
     "InvocationFailedError",
     "PlatformConfig",
+    "PlatformOutageError",
+    "SandboxReclaimedError",
     "ServerlessPlatform",
     "ThrottledError",
 ]

@@ -1,0 +1,21 @@
+"""Determinism and regression-test harnesses.
+
+:mod:`repro.testing.golden` runs a pinned end-to-end scenario and renders
+its full event/metric trace as canonical text, so a committed fixture can
+prove that a refactor or optimisation changed *nothing* it did not mean
+to — the simulator's core guarantee, locked in as a test.
+"""
+
+from repro.testing.golden import (
+    GOLDEN_SEED,
+    golden_fault_schedule,
+    run_golden_scenario,
+    trace_digest,
+)
+
+__all__ = [
+    "GOLDEN_SEED",
+    "golden_fault_schedule",
+    "run_golden_scenario",
+    "trace_digest",
+]

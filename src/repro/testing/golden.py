@@ -1,0 +1,147 @@
+"""The golden-trace scenario: one pinned run, rendered bit-for-bit.
+
+The simulator's determinism contract — same seed, same schedule, same
+floats — is what lets every benchmark regenerate identically and every
+refactor prove itself harmless.  This module turns that contract into a
+regression test: :func:`run_golden_scenario` executes a fixed end-to-end
+offloading workload (optionally under a fixed fault schedule) and renders
+an ordered trace of everything observable — per-job outcomes, failures,
+and the full metric snapshot — with ``repr`` floats, so the smallest
+numeric drift flips the digest.
+
+Fixtures live in ``tests/golden/``; regenerate them *intentionally* with
+``python tools/regen_golden.py`` after a change that is supposed to alter
+behaviour, and let the diff document exactly what moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.apps.catalog import photo_backup_app
+from repro.apps.jobs import Job
+from repro.core.controller import Environment, OffloadController
+from repro.faults import (
+    DegradationPolicy,
+    FaultKind,
+    FaultSchedule,
+    FaultWindow,
+    inject_faults,
+)
+from repro.serverless.retry import RetryPolicy
+
+#: Root seed of the golden scenario; never change it casually — every
+#: fixture line depends on it.
+GOLDEN_SEED = 20260805
+
+#: Bump when the *trace format* changes (not when traced values change).
+TRACE_SCHEMA = 1
+
+_N_JOBS = 4
+_INPUT_MB = 3.0
+_RELEASE_SPACING_S = 90.0
+_DEADLINE_SLACK_S = 600.0
+
+
+def golden_fault_schedule() -> FaultSchedule:
+    """The pinned fault campaign of the faulted golden variant.
+
+    One window of every kind the injector supports, placed so each
+    actually bites the workload (verified via the trace's counters): the
+    zone outage spans the second job's submission, the reclaim and
+    straggler windows cover the post-outage cloud executions, the
+    degraded uplink squeezes an upload, the downlink outage stalls a
+    result download, and the brownout fires while the device is active.
+    The run exercises outage waits, hedges, reclamations, straggler
+    slowdowns, and local fallbacks; outage *rejections* cannot occur
+    because outage-aware backoff keeps attempts out of the dead zone.
+    """
+    return FaultSchedule(
+        [
+            FaultWindow(FaultKind.ZONE_OUTAGE, 95.0, 200.0),
+            FaultWindow(
+                FaultKind.LINK_DEGRADED, 30.0, 120.0, target="uplink", magnitude=0.35
+            ),
+            FaultWindow(FaultKind.LINK_OUTAGE, 205.0, 216.0, target="downlink"),
+            FaultWindow(
+                FaultKind.SANDBOX_RECLAIM, 198.0, 240.0, magnitude=0.9
+            ),
+            FaultWindow(FaultKind.STRAGGLER, 198.0, 320.0, magnitude=3.0),
+            FaultWindow(FaultKind.BATTERY_BROWNOUT, 50.0, 51.0, magnitude=0.08),
+        ]
+    )
+
+
+def run_golden_scenario(
+    with_faults: bool, seed: int = GOLDEN_SEED
+) -> List[str]:
+    """Run the pinned scenario and return its canonical trace lines."""
+    env = Environment.build_custom(
+        seed=seed,
+        uplink_bandwidth=2.0e6,
+        access_latency_s=0.030,
+        wan_latency_s=0.045,
+    )
+    if with_faults:
+        inject_faults(env, golden_fault_schedule())
+    controller = OffloadController(
+        env,
+        photo_backup_app(),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=1.0, multiplier=2.0),
+        degradation=DegradationPolicy(
+            outage_aware_backoff=True,
+            hedge_after_s=90.0,
+            fallback_local=True,
+            fallback_slack_fraction=0.5,
+        ),
+    )
+    controller.profile_offline()
+    controller.plan(input_mb=_INPUT_MB)
+    # Explicit job ids keep the trace independent of the process-global
+    # job counter (i.e. of whatever ran earlier in the same interpreter).
+    jobs = [
+        Job(
+            controller.app,
+            input_mb=_INPUT_MB,
+            released_at=_RELEASE_SPACING_S * i,
+            deadline=_RELEASE_SPACING_S * i + _DEADLINE_SLACK_S,
+            job_id=1000 + i,
+        )
+        for i in range(_N_JOBS)
+    ]
+    report = controller.run_workload(jobs)
+
+    lines: List[str] = [
+        f"schema={TRACE_SCHEMA} seed={seed} faults={with_faults}",
+        f"sim.now={env.sim.now!r} events={env.sim.events_processed}",
+    ]
+    for result in report.results:
+        lines.append(
+            f"job id={result.job.job_id} started={result.started_at!r} "
+            f"finished={result.finished_at!r} energy_j={result.ue_energy_j!r} "
+            f"cost_usd={result.cloud_cost_usd!r} met={result.met_deadline}"
+        )
+    for failure in sorted(report.failures, key=lambda f: f.job.job_id):
+        lines.append(
+            f"failure id={failure.job.job_id} at={failure.failed_at!r} "
+            f"error={type(failure.error).__name__}"
+        )
+    snapshot = env.metrics.snapshot()
+    for key in sorted(snapshot):
+        lines.append(f"metric {key}={snapshot[key]!r}")
+    return lines
+
+
+def trace_digest(lines: List[str]) -> str:
+    """SHA-256 over the joined trace lines."""
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "GOLDEN_SEED",
+    "TRACE_SCHEMA",
+    "golden_fault_schedule",
+    "run_golden_scenario",
+    "trace_digest",
+]

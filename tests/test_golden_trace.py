@@ -1,0 +1,93 @@
+"""Golden-trace regression tests.
+
+Each test replays the pinned end-to-end scenario from
+:mod:`repro.testing.golden` and compares the rendered trace — every job
+outcome, failure, and metric, with ``repr`` floats — against the fixture
+committed under ``tests/golden/``.  A mismatch means simulated behaviour
+changed; if the change is intentional, regenerate with::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the fixture diff so review sees exactly which numbers moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing.golden import (
+    GOLDEN_SEED,
+    TRACE_SCHEMA,
+    run_golden_scenario,
+    trace_digest,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN_HINT = (
+    "Simulated behaviour diverged from the committed golden trace. If this "
+    "change is intentional, run `PYTHONPATH=src python tools/regen_golden.py` "
+    "and commit the fixture diff."
+)
+
+VARIANTS = [
+    ("pipeline_baseline.json", False),
+    ("pipeline_faults.json", True),
+]
+
+
+def _load(filename: str) -> dict:
+    path = GOLDEN_DIR / filename
+    assert path.exists(), f"missing golden fixture {path}"
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("filename,with_faults", VARIANTS)
+def test_trace_matches_committed_fixture(filename, with_faults):
+    fixture = _load(filename)
+    assert fixture["schema"] == TRACE_SCHEMA
+    assert fixture["seed"] == GOLDEN_SEED
+    assert fixture["with_faults"] is with_faults
+
+    lines = run_golden_scenario(with_faults)
+    # Compare lines first: on drift, the assertion diff shows *which*
+    # trace entries moved, not just that two digests differ.
+    assert lines == fixture["lines"], REGEN_HINT
+    assert trace_digest(lines) == fixture["digest"], REGEN_HINT
+
+
+@pytest.mark.parametrize("with_faults", [False, True])
+def test_scenario_is_deterministic_in_process(with_faults):
+    """Two fresh runs in one interpreter produce byte-identical traces."""
+    first = run_golden_scenario(with_faults)
+    second = run_golden_scenario(with_faults)
+    assert first == second
+    assert trace_digest(first) == trace_digest(second)
+
+
+def test_fixture_digest_is_self_consistent():
+    """The stored digest matches the stored lines (fixtures not hand-edited)."""
+    for filename, _ in VARIANTS:
+        fixture = _load(filename)
+        assert trace_digest(fixture["lines"]) == fixture["digest"], filename
+
+
+def test_fault_variant_actually_injects_faults():
+    """The faulted trace differs from the baseline and shows fault activity."""
+    baseline = _load("pipeline_baseline.json")
+    faulted = _load("pipeline_faults.json")
+    assert baseline["digest"] != faulted["digest"]
+    joined = "\n".join(faulted["lines"])
+    for marker in (
+        "faults.injected.zone_outage",
+        "faas.retry.outage_waits",
+        "faas.hedges",
+        "faas.reclamations",
+        "faas.straggler_slowdowns",
+        "photo_backup.fallbacks",
+        "ue.brownouts",
+    ):
+        assert marker in joined, f"expected fault marker {marker!r} in trace"
+    assert not any(line.startswith("metric faults") for line in baseline["lines"])

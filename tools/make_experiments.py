@@ -46,7 +46,7 @@ FOOTER = """---
 ```bash
 python setup.py develop          # offline env: pip lacks the wheel pkg
 pytest tests/                    # 720+ unit/integration/property tests
-pytest benchmarks/ --benchmark-only   # all 23 experiments + shape asserts
+pytest benchmarks/ --benchmark-only   # all 24 experiments + shape asserts
 python benchmarks/bench_f1_bandwidth.py   # any single experiment
 python tools/make_experiments.py          # regenerate this document
 ```
@@ -82,6 +82,7 @@ def build_sections():
     from bench_a7_dvfs import figure_a7, run_a7
     from bench_a8_makespan import run_a8
     from bench_a9_safety_factor import run_a9
+    from bench_r1_chaos import run_r1
 
     def single(fn):
         return lambda: print(fn())
@@ -360,6 +361,24 @@ def build_sections():
             "safe under ±35% demand noise at the price of dispatching "
             "~40% earlier (less slack harvested).  The 1.5 default "
             "balances the two.",
+        ),
+        (
+            "R1", "Resilience: chaos campaigns vs graceful degradation",
+            "A delay-tolerant offloading controller should survive "
+            "infrastructure faults by spending slack — waiting out "
+            "outages, hedging stragglers, falling back to local compute — "
+            "rather than losing jobs.",
+            single(run_r1),
+            "**Verdict ✅** — under seeded chaos campaigns (link/zone "
+            "outages, spot reclamations, stragglers, brownouts) the naive "
+            "controller loses 17–33% of jobs and fault-blind retries "
+            "still lose 17–25%; the degradation-aware controller misses "
+            "zero deadlines at every intensity by waiting out dead zones "
+            "(outage-aware backoff), hedging stragglers, and falling back "
+            "to local compute (3–5 jobs per campaign), paying ~40–80% "
+            "more cloud spend and ~40% higher mean response — slack "
+            "converted into survival.  The whole campaign replays "
+            "bit-identically from its seed, faults included.",
         ),
     ]
 

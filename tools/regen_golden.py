@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures under tests/golden/.
+
+Run this ONLY when a change is *supposed* to alter simulated behaviour
+(new fault mode, different draw order, a fixed bug).  Commit the fixture
+diff alongside the change so review sees exactly which numbers moved:
+
+    PYTHONPATH=src python tools/regen_golden.py [--check]
+
+``--check`` regenerates in memory and exits non-zero if the committed
+fixtures are stale, without writing anything (useful in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.testing.golden import (  # noqa: E402 - path bootstrap above
+    GOLDEN_SEED,
+    TRACE_SCHEMA,
+    run_golden_scenario,
+    trace_digest,
+)
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+VARIANTS = {
+    "pipeline_baseline.json": False,
+    "pipeline_faults.json": True,
+}
+
+
+def render(with_faults: bool) -> dict:
+    lines = run_golden_scenario(with_faults)
+    return {
+        "schema": TRACE_SCHEMA,
+        "seed": GOLDEN_SEED,
+        "with_faults": with_faults,
+        "digest": trace_digest(lines),
+        "lines": lines,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify fixtures are current instead of rewriting them",
+    )
+    args = parser.parse_args()
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    stale = []
+    for filename, with_faults in VARIANTS.items():
+        path = GOLDEN_DIR / filename
+        fresh = render(with_faults)
+        if args.check:
+            current = json.loads(path.read_text()) if path.exists() else None
+            if current != fresh:
+                stale.append(filename)
+                continue
+            print(f"ok       {filename}  digest={fresh['digest'][:16]}…")
+        else:
+            path.write_text(json.dumps(fresh, indent=1) + "\n")
+            print(f"written  {filename}  digest={fresh['digest'][:16]}…")
+    if stale:
+        print(f"STALE fixtures: {', '.join(stale)} — rerun without --check")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
