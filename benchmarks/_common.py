@@ -81,4 +81,24 @@ def emit(table: Table) -> None:
     print()
 
 
+def enable_tracing(env: Environment):
+    """Attach a :class:`~repro.telemetry.Tracer` to ``env`` and return it.
+
+    Benchmarks that want phase attribution call this right after building
+    the environment (before planning, so the plan span is captured).
+    """
+    from repro.telemetry import attach_tracer
+
+    return attach_tracer(env)
+
+
+def emit_phase_attribution(tracer) -> None:
+    """Print the per-phase totals of a traced benchmark run."""
+    from repro.telemetry import build_report
+
+    print()
+    print(build_report(tracer).render())
+    print()
+
+
 MBPS = 1_000_000 / 8  # bytes/second per megabit/second

@@ -111,6 +111,11 @@ def _build_controller(args: argparse.Namespace) -> OffloadController:
         connectivity=args.connectivity,
         with_storage=getattr(args, "with_storage", False),
     )
+    if getattr(args, "trace", None):
+        # Attach before planning so the plan span is captured too.
+        from repro.telemetry import attach_tracer
+
+        attach_tracer(env)
     controller = OffloadController(
         env,
         _resolve_app(args.app),
@@ -180,6 +185,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             for i in range(args.jobs)
         ]
     report = controller.run_workload(jobs)
+    if args.trace:
+        from repro.telemetry import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace,
+            controller.env.sim.tracer,
+            metadata={
+                "app": args.app,
+                "connectivity": args.connectivity,
+                "input_mb": args.input_mb,
+                "jobs": len(jobs),
+                "seed": args.seed,
+            },
+        )
+        print(f"trace written to {args.trace}")
     if args.save_report:
         from repro.traces.replay import save_report
 
@@ -199,6 +219,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print(table)
     return 0 if not report.failures else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry import report_from_file
+
+    run_report = report_from_file(args.trace)
+    print(run_report.render())
+    if args.prometheus:
+        print()
+        for line in sorted(
+            f"{name} {value!r}"
+            for name, value in run_report.metrics.items()
+        ):
+            print(line)
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -298,6 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSON job trace to replay instead of synthesising")
     run.add_argument("--save-report", default=None,
                      help="write the run report to this JSON file")
+    run.add_argument("--trace", default=None,
+                     help="write a Chrome trace-event JSON of the run "
+                          "(load in Perfetto, or feed to `repro report`)")
+
+    report = sub.add_parser(
+        "report", help="print phase attribution for a saved trace"
+    )
+    report.add_argument("trace", help="trace JSON written by `run --trace`")
+    report.add_argument("--prometheus", action="store_true",
+                        help="also dump the labeled metrics in Prometheus "
+                             "text format")
 
     pipeline = sub.add_parser("pipeline", help="run the CI/CD pipeline once")
     common(pipeline)
@@ -316,6 +362,7 @@ COMMANDS = {
     "list-apps": cmd_list_apps,
     "list-profiles": cmd_list_profiles,
     "plan": cmd_plan,
+    "report": cmd_report,
     "run": cmd_run,
     "pipeline": cmd_pipeline,
 }

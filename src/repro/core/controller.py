@@ -57,6 +57,16 @@ from repro.serverless.platform import (
 from repro.storage.objectstore import ObjectStore, StoragePricing
 from repro.sim import Event, Simulator
 from repro.sim.rng import RngStream, SeedSequenceRegistry
+from repro.telemetry.tracer import (
+    PHASE_COMPONENT,
+    PHASE_DOWNLOAD,
+    PHASE_EXECUTE,
+    PHASE_JOB,
+    PHASE_PLAN,
+    PHASE_SCHEDULE,
+    PHASE_STAGE,
+    PHASE_UPLOAD,
+)
 
 
 class Environment:
@@ -345,6 +355,10 @@ class OffloadController:
         self.partition: Optional[Partition] = None
         self.allocation: Dict[str, AllocationDecision] = {}
         self._jobs_since_replan = 0
+        #: Per-controller job sequence used for trace span labels.  Job
+        #: ids come from a process-global counter, so two same-seed runs
+        #: in one process would otherwise emit different traces.
+        self._trace_job_seq = 0
         self._exec_rng = env.rng.stream(f"controller.{app.name}.exec")
         self._planned_input_mb: float = 1.0
         #: Last-known-good link rates, held across injected outages so
@@ -419,6 +433,10 @@ class OffloadController:
         is avoided).
         """
         self._planned_input_mb = input_mb
+        tracer = self.env.sim.tracer
+        plan_span = tracer.start_span(
+            "plan", category=PHASE_PLAN, app=self.app.name, input_mb=input_mb
+        )
         # First pass at default memory, then refine: the partition decides
         # *what* runs in the cloud, the allocation decides *at which size*,
         # and sizes feed back into partition economics.
@@ -437,6 +455,11 @@ class OffloadController:
             self.app, partition, self.demand, input_mb, self.latency_slo_s
         )
         self._deploy()
+        tracer.end_span(
+            plan_span,
+            n_cloud=len(partition.cloud),
+            n_local=len(self.app.component_names) - len(partition.cloud),
+        )
         return partition
 
     def _function_name(self, component: str) -> str:
@@ -533,10 +556,58 @@ class OffloadController:
 
     def _job_proc(self, job: Job) -> Generator[Event, Any, JobResult]:
         sim = self.env.sim
+        tracer = sim.tracer
+        trace_seq = self._trace_job_seq
+        self._trace_job_seq += 1
+        job_span = tracer.start_span(
+            f"job{trace_seq}",
+            category=PHASE_JOB,
+            job_id=trace_seq,
+            app=self.app.name,
+            input_mb=job.input_mb,
+            released_at=job.released_at,
+            deadline=job.deadline,
+        )
+        try:
+            result = yield from self._job_body(job, job_span)
+        except BaseException as error:  # noqa: BLE001 - close spans, relay
+            # A dying job abandons whatever spans its component/transfer
+            # processes had open; close the whole subtree so the trace
+            # stays complete.
+            tracer.end_subtree(job_span, error=type(error).__name__)
+            raise
+        tracer.end_span(
+            job_span,
+            met_deadline=result.met_deadline,
+            ue_energy_j=result.ue_energy_j,
+            cloud_cost_usd=result.cloud_cost_usd,
+        )
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "jobs_total", app=self.app.name,
+                met_deadline=str(result.met_deadline).lower(),
+            ).increment()
+            tracer.metrics.summary(
+                "job_response_s", app=self.app.name
+            ).observe(result.response_time)
+        return result
+
+    def _job_body(
+        self, job: Job, job_span
+    ) -> Generator[Event, Any, JobResult]:
+        sim = self.env.sim
+        tracer = sim.tracer
         estimate = self.estimate_completion(job)
         decision = self.scheduler.decide(job, sim.now, estimate)
         if decision.dispatch_at > sim.now:
+            wait_span = tracer.start_span(
+                "deferral",
+                category=PHASE_SCHEDULE,
+                parent=job_span,
+                dispatch_at=decision.dispatch_at,
+            )
             yield sim.timeout(decision.dispatch_at - sim.now)
+            tracer.end_span(wait_span)
         started = sim.now
         frequency = self.select_frequency(job, sim.now)
 
@@ -567,12 +638,25 @@ class OffloadController:
                 yield sim.all_of(incoming)
             nominal = job.component_work(name)
             actual = self.env.actual_work(nominal, self._exec_rng)
+            tier = "cloud" if partition.is_cloud(name) else "local"
+            comp_span = tracer.start_span(
+                name,
+                category=PHASE_COMPONENT,
+                parent=job_span,
+                tier=tier,
+                work_gcycles=actual,
+            )
+            if tracer.enabled:
+                tracer.metrics.counter(
+                    "components_total", app=app.name, tier=tier
+                ).increment()
             if partition.is_cloud(name):
                 request = InvocationRequest(
                     function=self._function_name(name),
                     work_gcycles=actual,
                     payload_bytes=0.0,
                     tag=f"job{job.job_id}",
+                    trace_parent=comp_span if tracer.enabled else None,
                 )
                 if self.degradation is None:
                     entered = sim.now
@@ -591,13 +675,21 @@ class OffloadController:
                     )
                 else:
                     cost_usd += yield from self._degraded_cloud_episode(
-                        job, request, actual, frequency, charge
+                        job, request, actual, frequency, charge, comp_span
                     )
             else:
+                exec_span = tracer.start_span(
+                    name,
+                    category=PHASE_EXECUTE,
+                    parent=comp_span,
+                    tier="local",
+                )
                 execution = yield self.env.ue.execute(
                     actual, frequency_fraction=frequency
                 )
+                tracer.end_span(exec_span, energy_j=execution.energy_j)
                 charge("compute", execution.energy_j)
+            tracer.end_span(comp_span)
             observations.append(
                 DemandObservation(
                     component=name,
@@ -619,7 +711,16 @@ class OffloadController:
             key = f"job{job.job_id}/{src}->{dst}"
             if not src_cloud and dst_cloud:
                 # UE uploads; with a store the payload is staged there.
-                result = yield self.env.ue.transmit(nbytes, self.env.uplink)
+                up_span = tracer.start_span(
+                    f"{src}->{dst}",
+                    category=PHASE_UPLOAD,
+                    parent=job_span,
+                    bytes=nbytes,
+                )
+                result = yield self.env.ue.transmit(
+                    nbytes, self.env.uplink, parent=up_span
+                )
+                tracer.end_span(up_span, radio_s=result.radio_seconds)
                 charge(
                     "tx",
                     self.env.ue.spec.energy.transmit_energy(
@@ -627,22 +728,45 @@ class OffloadController:
                     ),
                 )
                 if store is not None:
+                    stage_span = tracer.start_span(
+                        f"stage.{src}->{dst}",
+                        category=PHASE_STAGE,
+                        parent=job_span,
+                        bytes=nbytes,
+                    )
                     yield store.put(key, nbytes)
+                    tracer.end_span(stage_span)
                     cost_usd += store.pricing.price_per_put
                     store.delete(key)  # consumed by the dst function
             elif src_cloud and not dst_cloud:
                 if store is not None:
                     # The cloud function writes its result, the UE reads it
                     # out — paying the egress rate.
+                    stage_span = tracer.start_span(
+                        f"stage.{src}->{dst}",
+                        category=PHASE_STAGE,
+                        parent=job_span,
+                        bytes=nbytes,
+                    )
                     yield store.put(key, nbytes)
                     yield store.get(key, external=True)
+                    tracer.end_span(stage_span)
                     cost_usd += (
                         store.pricing.price_per_put
                         + store.pricing.price_per_get
                         + store.pricing.transfer_cost(nbytes, external=True)
                     )
                     store.delete(key)
-                result = yield self.env.ue.receive(nbytes, self.env.downlink)
+                down_span = tracer.start_span(
+                    f"{src}->{dst}",
+                    category=PHASE_DOWNLOAD,
+                    parent=job_span,
+                    bytes=nbytes,
+                )
+                result = yield self.env.ue.receive(
+                    nbytes, self.env.downlink, parent=down_span
+                )
+                tracer.end_span(down_span, radio_s=result.radio_seconds)
                 charge(
                     "rx",
                     self.env.ue.spec.energy.receive_energy(
@@ -652,8 +776,15 @@ class OffloadController:
             elif src_cloud and dst_cloud and store is not None:
                 # Intra-cloud handoff through the store: request latency
                 # and fees, no radio involvement.
+                stage_span = tracer.start_span(
+                    f"stage.{src}->{dst}",
+                    category=PHASE_STAGE,
+                    parent=job_span,
+                    bytes=nbytes,
+                )
                 yield store.put(key, nbytes)
                 yield store.get(key, external=False)
+                tracer.end_span(stage_span)
                 cost_usd += (
                     store.pricing.price_per_put
                     + store.pricing.price_per_get
@@ -700,6 +831,7 @@ class OffloadController:
         actual_gcycles: float,
         frequency: float,
         charge: Callable[[str, float], None],
+        parent=None,
     ) -> Generator[Event, Any, float]:
         """One cloud component under the degradation policy.
 
@@ -767,9 +899,27 @@ class OffloadController:
             assert payload is not None  # budget requires fallback_local
             raise payload
         metrics.counter(f"{self.app.name}.fallbacks").increment()
+        tracer = sim.tracer
+        tracer.instant(
+            "fallback_local",
+            parent=parent,
+            cause=type(payload).__name__ if payload is not None else "budget",
+        )
+        fallback_span = tracer.start_span(
+            request.function,
+            category=PHASE_EXECUTE,
+            parent=parent,
+            tier="local",
+            fallback=True,
+        )
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "fallbacks_total", app=self.app.name
+            ).increment()
         execution = yield self.env.ue.execute(
             actual_gcycles, frequency_fraction=frequency
         )
+        tracer.end_span(fallback_span, energy_j=execution.energy_j)
         charge("compute", execution.energy_j)
         return cost
 

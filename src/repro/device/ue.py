@@ -215,28 +215,38 @@ class UserEquipment:
 
     # -- radio ----------------------------------------------------------------
 
-    def transmit(self, nbytes: float, path: NetworkPath) -> Event:
+    def transmit(
+        self, nbytes: float, path: NetworkPath, parent: Optional[object] = None
+    ) -> Event:
         """Send ``nbytes`` up ``path``, draining transmit energy.
 
         Returns a process event with the path's
-        :class:`~repro.network.link.TransferResult`.
+        :class:`~repro.network.link.TransferResult`.  ``parent``
+        optionally carries the caller's telemetry span down to the
+        path's transfer span.
         """
         return self.sim.spawn(
-            self._radio_proc(nbytes, path, transmit=True),
+            self._radio_proc(nbytes, path, transmit=True, parent=parent),
             name=f"{self.spec.name}.tx",
         )
 
-    def receive(self, nbytes: float, path: NetworkPath) -> Event:
+    def receive(
+        self, nbytes: float, path: NetworkPath, parent: Optional[object] = None
+    ) -> Event:
         """Fetch ``nbytes`` down ``path``, draining receive energy."""
         return self.sim.spawn(
-            self._radio_proc(nbytes, path, transmit=False),
+            self._radio_proc(nbytes, path, transmit=False, parent=parent),
             name=f"{self.spec.name}.rx",
         )
 
     def _radio_proc(
-        self, nbytes: float, path: NetworkPath, transmit: bool
+        self,
+        nbytes: float,
+        path: NetworkPath,
+        transmit: bool,
+        parent: Optional[object] = None,
     ) -> Generator[Event, object, TransferResult]:
-        result: TransferResult = yield path.transfer(nbytes)
+        result: TransferResult = yield path.transfer(nbytes, parent=parent)
         model = self.spec.energy
         if transmit:
             energy = model.transmit_energy(result.radio_seconds)

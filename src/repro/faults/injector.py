@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.faults.schedule import LINK_KINDS, FaultKind, FaultSchedule, FaultWindow
 from repro.sim.rng import RngStream
+from repro.telemetry.tracer import PHASE_FAULT
 from repro.traces.bandwidth import BandwidthTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -172,9 +173,26 @@ class FaultInjector:
                 lambda fraction=window.magnitude: env.ue.brownout(fraction),
             )
 
+        tracer = env.sim.tracer
         for window in schedule.windows:
             env.metrics.counter("faults.injected").increment()
             env.metrics.counter(f"faults.injected.{window.kind.value}").increment()
+            if tracer.enabled:
+                # Annotation only: the window is recorded with its own
+                # explicit times, so attach order vs. the run is moot —
+                # but the tracer must already be installed (attach_tracer
+                # before inject_faults) to see these.
+                tracer.record_span(
+                    window.kind.value,
+                    PHASE_FAULT,
+                    window.start,
+                    window.end,
+                    target=window.target or "",
+                    magnitude=window.magnitude,
+                )
+                tracer.metrics.counter(
+                    "fault_windows_total", fault_kind=window.kind.value
+                ).increment()
         return self
 
 

@@ -7,6 +7,18 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional
 
 
+def _require_finite(name: str, value: float, what: str = "value") -> float:
+    """Reject NaN/inf before they poison a collector.
+
+    A single non-finite observation silently corrupts every downstream
+    aggregate (sums, means, digests), so collectors fail fast instead.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name!r}: {what} must be finite, got {value}")
+    return value
+
+
 class Counter:
     """A monotonically increasing total."""
 
@@ -20,7 +32,8 @@ class Counter:
         return self._value
 
     def increment(self, amount: float = 1.0) -> None:
-        """Add ``amount`` (must be non-negative) to the total."""
+        """Add ``amount`` (must be finite and non-negative) to the total."""
+        amount = _require_finite(self.name, amount, "increment")
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
         self._value += amount
@@ -42,12 +55,12 @@ class Gauge:
         return self._value
 
     def set(self, value: float) -> None:
-        """Overwrite the gauge."""
-        self._value = float(value)
+        """Overwrite the gauge (with a finite value)."""
+        self._value = _require_finite(self.name, value)
 
     def add(self, delta: float) -> None:
-        """Adjust the gauge by ``delta`` (may be negative)."""
-        self._value += delta
+        """Adjust the gauge by ``delta`` (finite, may be negative)."""
+        self._value += _require_finite(self.name, delta, "delta")
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Gauge {self.name}={self._value}>"
@@ -68,8 +81,8 @@ class Summary:
         self._sum_sq = 0.0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
+        """Record one (finite) observation."""
+        value = _require_finite(self.name, value, "observation")
         self._samples.append(value)
         self._sorted = None
         self._sum += value

@@ -8,6 +8,7 @@ from typing import Generator, List, Optional, Sequence
 from repro.metrics import MetricRegistry
 from repro.sim import Resource, Simulator
 from repro.sim.events import Event
+from repro.telemetry.tracer import PHASE_TRANSFER
 from repro.traces.bandwidth import BandwidthTrace, ConstantBandwidth
 
 
@@ -188,18 +189,26 @@ class NetworkPath:
         t = self.sim.now if at is None else at
         return min(link.trace.rate_at(t) for link in self.links)
 
-    def transfer(self, nbytes: float) -> Event:
+    def transfer(self, nbytes: float, parent: Optional[object] = None) -> Event:
         """Move ``nbytes`` across every hop in order.
 
         Returns a process event whose value is a :class:`TransferResult`
-        spanning the whole path.
+        spanning the whole path.  ``parent`` optionally carries the
+        caller's telemetry span; when tracing is enabled the whole-path
+        transfer records a ``transfer`` span beneath it.
         """
-        return self.sim.spawn(self._transfer_proc(nbytes), name=f"{self.name}.xfer")
+        return self.sim.spawn(
+            self._transfer_proc(nbytes, parent), name=f"{self.name}.xfer"
+        )
 
     def _transfer_proc(
-        self, nbytes: float
+        self, nbytes: float, parent: Optional[object] = None
     ) -> Generator[Event, object, TransferResult]:
         started = self.sim.now
+        tracer = self.sim.tracer
+        span = tracer.start_span(
+            self.name, category=PHASE_TRANSFER, parent=parent, bytes=nbytes
+        )
         active = 0.0
         radio = 0.0
         for index, link in enumerate(self.links):
@@ -207,6 +216,7 @@ class NetworkPath:
             active += hop.active_seconds
             if index == 0:
                 radio = hop.active_seconds
+        tracer.end_span(span, active_s=active, hops=len(self.links))
         return TransferResult(
             bytes=nbytes,
             started_at=started,

@@ -117,12 +117,19 @@ class FunctionSpec:
 
 @dataclass(frozen=True)
 class InvocationRequest:
-    """One unit of work submitted to a function."""
+    """One unit of work submitted to a function.
+
+    ``trace_parent`` optionally carries the caller's telemetry span so
+    the platform and retry layers parent their spans (queue wait, cold
+    start, execution, backoff) under the requesting component; ``None``
+    (the default, and always when tracing is disabled) records nothing.
+    """
 
     function: str
     work_gcycles: float
     payload_bytes: float = 0.0
     tag: Optional[str] = None
+    trace_parent: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.work_gcycles < 0:

@@ -29,6 +29,7 @@ from repro.serverless.function import (
 )
 from repro.sim import Event, Simulator
 from repro.sim.rng import RngStream
+from repro.telemetry.tracer import PHASE_COLD_START, PHASE_EXECUTE, PHASE_QUEUE
 
 
 class ThrottledError(RuntimeError):
@@ -282,10 +283,15 @@ class ServerlessPlatform:
         submitted_at = self.sim.now
         spec = state.spec
         limit = spec.concurrency_limit or self.config.default_concurrency
+        tracer = self.sim.tracer
+        trace_parent = request.trace_parent
 
         if self.faults is not None and self.faults.outage_active(self.sim.now):
             # The zone is dark: the control plane rejects immediately.
             self.metrics.counter(f"{self.name}.outage_rejections").increment()
+            tracer.instant(
+                "outage_rejected", parent=trace_parent, function=request.function
+            )
             raise PlatformOutageError(request.function)
 
         instance = state.idle_instance(self.sim.now, self.config.keep_alive_s)
@@ -296,19 +302,47 @@ class ServerlessPlatform:
             cold = True
             instance = _Instance(self.sim.now)
             state.instances.append(instance)
+            cold_span = tracer.start_span(
+                request.function,
+                category=PHASE_COLD_START,
+                parent=trace_parent,
+                package_mb=spec.package_mb,
+            )
             yield self.sim.timeout(self.config.cold_start_duration(spec))
+            tracer.end_span(cold_span)
         else:
             max_queue = self.config.max_queue_per_function
             if max_queue is not None and len(state.queue) >= max_queue:
                 raise ThrottledError(f"{request.function}: queue full")
             ticket = self.sim.event()
             state.queue.append(ticket)
+            queue_span = tracer.start_span(
+                request.function,
+                category=PHASE_QUEUE,
+                parent=trace_parent,
+                depth=len(state.queue),
+            )
             # The finishing invocation hands over its instance still marked
             # busy, so a same-timestamp arrival cannot steal it in between.
             instance = yield ticket
+            tracer.end_span(queue_span)
 
         started_at = self.sim.now
         duration = spec.duration_for(request.work_gcycles)
+        exec_span = tracer.start_span(
+            request.function,
+            category=PHASE_EXECUTE,
+            parent=trace_parent,
+            tier="cloud",
+            cold=cold,
+            memory_mb=spec.memory_mb,
+        )
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "invocations_total",
+                function=request.function,
+                cold=str(cold).lower(),
+            ).increment()
 
         if self.faults is not None:
             slowdown = self.faults.slowdown_factor(started_at)
@@ -333,6 +367,9 @@ class ServerlessPlatform:
             state.cost = state.cost + partial
             self.metrics.counter(f"{self.name}.failures").increment()
             self.metrics.counter(f"{self.name}.cost_usd").increment(partial.total)
+            tracer.end_span(
+                exec_span, error="InvocationFailedError", billed_usd=partial.total
+            )
             raise InvocationFailedError(
                 request.function, ran_for, partial.total
             )
@@ -354,6 +391,11 @@ class ServerlessPlatform:
                 self.metrics.counter(f"{self.name}.cost_usd").increment(
                     partial.total
                 )
+                tracer.end_span(
+                    exec_span,
+                    error="SandboxReclaimedError",
+                    billed_usd=partial.total,
+                )
                 raise SandboxReclaimedError(
                     request.function, ran_for, partial.total
                 )
@@ -361,6 +403,7 @@ class ServerlessPlatform:
         yield self.sim.timeout(duration)
         finished_at = self.sim.now
         self._release_instance(state, instance)
+        tracer.end_span(exec_span)
 
         cost = self.config.billing.invocation_cost(duration, spec.memory_mb)
         state.cost = state.cost + cost

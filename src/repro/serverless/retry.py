@@ -27,6 +27,7 @@ from repro.serverless.function import Invocation, InvocationRequest
 from repro.serverless.platform import InvocationFailedError, ServerlessPlatform
 from repro.sim import Event
 from repro.sim.rng import RngStream
+from repro.telemetry.tracer import PHASE_RETRY
 
 
 class RetriesExhaustedError(RuntimeError):
@@ -123,6 +124,8 @@ def _retry_proc(
     wasted = 0.0
     backoff_total = 0.0
     last_error: Optional[InvocationFailedError] = None
+    tracer = platform.sim.tracer
+    trace_parent = request.trace_parent
     for attempt in range(policy.max_attempts):
         delay = policy.delay_before_attempt(attempt, rng)
         if outage_aware:
@@ -135,12 +138,33 @@ def _retry_proc(
                 ).increment()
         if delay > 0:
             backoff_total += delay
+            backoff_span = tracer.start_span(
+                "backoff",
+                category=PHASE_RETRY,
+                parent=trace_parent,
+                attempt=attempt,
+            )
             yield platform.sim.timeout(delay)
+            tracer.end_span(backoff_span)
         try:
             invocation: Invocation = yield platform.invoke(request)
         except InvocationFailedError as error:
             wasted += error.billed_usd
             last_error = error
+            cause = type(error).__name__
+            tracer.instant(
+                "attempt_failed",
+                parent=trace_parent,
+                attempt=attempt,
+                cause=cause,
+                wasted_usd=error.billed_usd,
+            )
+            if tracer.enabled:
+                tracer.metrics.counter(
+                    "attempts_failed_total",
+                    function=request.function,
+                    cause=cause,
+                ).increment()
             continue
         return RetriedInvocation(
             invocation=invocation,
@@ -258,6 +282,12 @@ def _hedged_proc(
         raise payload
 
     platform.metrics.counter(f"{platform.name}.hedges").increment()
+    sim.tracer.instant(
+        "hedge_started",
+        parent=request.trace_parent,
+        function=request.function,
+        after_s=hedge_after_s,
+    )
     lanes = [primary, _guard(platform, lane())]
     while True:
         finished_ok = [g for g in lanes if g.triggered and g.value[0]]

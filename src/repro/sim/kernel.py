@@ -18,6 +18,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.telemetry.tracer import NULL_TRACER
 
 
 class SimulationError(RuntimeError):
@@ -152,6 +153,12 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._event_count = 0
+        #: The telemetry sink every instrumented subsystem consults.  The
+        #: shared null tracer keeps the disabled path to one attribute
+        #: read per instrumented *operation* — the kernel loop itself
+        #: never touches it.  Install a real one with
+        #: :func:`repro.telemetry.attach_tracer`.
+        self.tracer = NULL_TRACER
 
     # -- clock ----------------------------------------------------------------
 

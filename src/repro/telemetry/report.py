@@ -1,0 +1,302 @@
+"""Run reports: per-phase critical-path attribution over a span trace.
+
+The question a run report answers is the one raw metrics cannot: *which
+phase paid for each job's completion time* — planning, scheduling
+deferral, upload, queueing, cold start, execution, retries, download —
+and *what each retry cause wasted* in dollars.
+
+Attribution partitions every job's wall time exactly: each instant of
+``[job.start, job.end]`` is assigned to the highest-precedence phase
+with an active span at that instant (overhead phases outrank execution,
+so a cold start masking useful work is charged as cold start), and
+instants no span covers are ``idle``.  The per-job phase seconds
+therefore sum to the job's makespan, and the dominant phase is simply
+the largest share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.metrics.tables import Table
+from repro.telemetry.tracer import (
+    PHASE_COLD_START,
+    PHASE_DOWNLOAD,
+    PHASE_EXECUTE,
+    PHASE_JOB,
+    PHASE_QUEUE,
+    PHASE_RETRY,
+    PHASE_SCHEDULE,
+    PHASE_STAGE,
+    PHASE_UPLOAD,
+    Span,
+    Tracer,
+)
+
+#: Phases that claim time, highest precedence first.  Overheads outrank
+#: execution so "the run got slower" attributes to the mechanism that
+#: stretched it, not to the work it stretched around.
+ATTRIBUTION_PRECEDENCE = (
+    PHASE_COLD_START,
+    PHASE_RETRY,
+    PHASE_QUEUE,
+    PHASE_UPLOAD,
+    PHASE_DOWNLOAD,
+    PHASE_STAGE,
+    PHASE_EXECUTE,
+    PHASE_SCHEDULE,
+)
+
+#: Attribution bucket for time no phase span covers.
+IDLE = "idle"
+
+#: The instant-event name retry layers emit per failed attempt.
+ATTEMPT_FAILED = "attempt_failed"
+
+
+@dataclass
+class JobAttribution:
+    """Phase breakdown of one job's completion time."""
+
+    job_id: str
+    app: str
+    start: float
+    end: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: cause -> (failed attempts, wasted USD) inside this job's spans.
+    wasted_by_cause: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Seconds from job start to completion."""
+        return self.end - self.start
+
+    @property
+    def dominant_phase(self) -> str:
+        """The phase holding the largest share of the makespan."""
+        if not self.phase_seconds:
+            return IDLE
+        return max(self.phase_seconds.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def share(self, phase: str) -> float:
+        """Fraction of the makespan attributed to ``phase``."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.phase_seconds.get(phase, 0.0) / self.makespan
+
+
+def _children_index(spans: Iterable[Span]) -> Dict[Optional[int], List[Span]]:
+    index: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        index.setdefault(span.parent_id, []).append(span)
+    return index
+
+
+def _descendants(root: Span, children: Dict[Optional[int], List[Span]]) -> List[Span]:
+    out: List[Span] = []
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for child in children.get(node.span_id, ()):
+            out.append(child)
+            frontier.append(child)
+    return out
+
+
+def _attribute_interval(
+    lo: float, hi: float, spans: List[Span]
+) -> Dict[str, float]:
+    """Partition ``[lo, hi]`` among phases by precedence sweep."""
+    rank = {phase: i for i, phase in enumerate(ATTRIBUTION_PRECEDENCE)}
+    intervals = [
+        (max(span.start, lo), min(span.end, hi), span.category)
+        for span in spans
+        if span.category in rank
+        and span.end is not None
+        and min(span.end, hi) > max(span.start, lo)
+    ]
+    cuts = sorted({lo, hi, *(a for a, _b, _c in intervals), *(b for _a, b, _c in intervals)})
+    out: Dict[str, float] = {}
+    for a, b in zip(cuts, cuts[1:]):
+        mid = (a + b) / 2.0
+        active = [c for (s, e, c) in intervals if s <= mid < e]
+        phase = min(active, key=lambda c: rank[c]) if active else IDLE
+        out[phase] = out.get(phase, 0.0) + (b - a)
+    # Elementary intervals narrower than float resolution leave phantom
+    # phases (an "idle" of 1e-15 s); drop anything below a nanosecond.
+    return {phase: secs for phase, secs in out.items() if secs >= 1e-9}
+
+
+def attribute_job(root: Span, descendants: List[Span]) -> JobAttribution:
+    """Phase attribution of one job root span and its descendants."""
+    end = root.end if root.end is not None else root.start
+    attribution = JobAttribution(
+        job_id=str(root.attributes.get("job_id", root.span_id)),
+        app=str(root.attributes.get("app", "")),
+        start=root.start,
+        end=end,
+        phase_seconds=_attribute_interval(root.start, end, descendants),
+    )
+    for span in [root] + descendants:
+        for _at, name, attrs in span.events:
+            if name != ATTEMPT_FAILED:
+                continue
+            cause = str(attrs.get("cause", "unknown"))
+            count, usd = attribution.wasted_by_cause.get(cause, (0, 0.0))
+            attribution.wasted_by_cause[cause] = (
+                count + 1,
+                usd + float(attrs.get("wasted_usd", 0.0)),
+            )
+    return attribution
+
+
+@dataclass
+class RunReport:
+    """The rendered-ready aggregation of one traced run."""
+
+    jobs: List[JobAttribution]
+    metadata: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def phases(self) -> List[str]:
+        """Phases present in any job, in precedence order (idle last)."""
+        present = {p for job in self.jobs for p in job.phase_seconds}
+        ordered = [p for p in ATTRIBUTION_PRECEDENCE if p in present]
+        if IDLE in present:
+            ordered.append(IDLE)
+        return ordered
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Summed per-phase seconds across every job."""
+        totals: Dict[str, float] = {}
+        for job in self.jobs:
+            for phase, seconds in job.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    def wasted_totals(self) -> Dict[str, Tuple[int, float]]:
+        """Failed attempts and wasted USD, aggregated by cause."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for job in self.jobs:
+            for cause, (count, usd) in job.wasted_by_cause.items():
+                have = totals.get(cause, (0, 0.0))
+                totals[cause] = (have[0] + count, have[1] + usd)
+        return totals
+
+    # -- rendering ---------------------------------------------------------
+
+    def attribution_table(self) -> Table:
+        """Per-job table: makespan, per-phase seconds, dominant phase."""
+        phases = self.phases
+        table = Table(
+            ["job", "app", "makespan s"]
+            + [f"{p} s" for p in phases]
+            + ["dominant"],
+            title="Per-job phase attribution (critical-path shares)",
+            precision=3,
+        )
+        for job in sorted(self.jobs, key=lambda j: (j.start, j.job_id)):
+            table.add_row(
+                job.job_id,
+                job.app,
+                job.makespan,
+                *[job.phase_seconds.get(p, 0.0) for p in phases],
+                job.dominant_phase,
+            )
+        return table
+
+    def totals_table(self) -> Table:
+        """Aggregate table: per-phase totals and share of all job time."""
+        totals = self.phase_totals()
+        grand = sum(totals.values())
+        table = Table(
+            ["phase", "total s", "% of job time", "jobs touched"],
+            title="Phase totals across the run",
+            precision=3,
+        )
+        for phase in self.phases:
+            seconds = totals.get(phase, 0.0)
+            touched = sum(
+                1 for j in self.jobs if j.phase_seconds.get(phase, 0.0) > 0
+            )
+            table.add_row(
+                phase,
+                seconds,
+                (100.0 * seconds / grand) if grand > 0 else math.nan,
+                touched,
+            )
+        return table
+
+    def wasted_table(self) -> Optional[Table]:
+        """Wasted-cost table by retry cause; None when nothing failed."""
+        totals = self.wasted_totals()
+        if not totals:
+            return None
+        table = Table(
+            ["retry cause", "failed attempts", "wasted $"],
+            title="Wasted cost by retry cause",
+            precision=6,
+        )
+        for cause in sorted(totals):
+            count, usd = totals[cause]
+            table.add_row(cause, count, usd)
+        return table
+
+    def render(self) -> str:
+        """The full human-readable report."""
+        parts: List[str] = []
+        if self.metadata:
+            meta = "  ".join(
+                f"{key}={self.metadata[key]}" for key in sorted(self.metadata)
+            )
+            parts.append(f"trace: {meta}")
+        if not self.jobs:
+            parts.append("(no job spans in trace)")
+        else:
+            parts.append(self.attribution_table().render())
+            parts.append(self.totals_table().render())
+            wasted = self.wasted_table()
+            if wasted is not None:
+                parts.append(wasted.render())
+        return "\n\n".join(parts)
+
+
+def build_report(
+    source: Union[Tracer, Iterable[Span]],
+    metadata: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, object]] = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from a tracer or a span list."""
+    spans = source.spans if isinstance(source, Tracer) else list(source)
+    children = _children_index(spans)
+    jobs = [
+        attribute_job(span, _descendants(span, children))
+        for span in spans
+        if span.category == PHASE_JOB
+    ]
+    jobs.sort(key=lambda j: (j.start, j.job_id))
+    return RunReport(
+        jobs=jobs, metadata=dict(metadata or {}), metrics=dict(metrics or {})
+    )
+
+
+def report_from_file(path) -> RunReport:
+    """Load an exported Chrome trace and build its report."""
+    from repro.telemetry.exporters import load_chrome_trace
+
+    spans, metadata, metrics = load_chrome_trace(path)
+    return build_report(spans, metadata=metadata, metrics=metrics)
+
+
+__all__ = [
+    "ATTRIBUTION_PRECEDENCE",
+    "IDLE",
+    "JobAttribution",
+    "RunReport",
+    "attribute_job",
+    "build_report",
+    "report_from_file",
+]

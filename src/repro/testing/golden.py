@@ -74,15 +74,29 @@ def golden_fault_schedule() -> FaultSchedule:
 
 
 def run_golden_scenario(
-    with_faults: bool, seed: int = GOLDEN_SEED
+    with_faults: bool, seed: int = GOLDEN_SEED, traced: bool = False
 ) -> List[str]:
-    """Run the pinned scenario and return its canonical trace lines."""
+    """Run the pinned scenario and return its canonical trace lines.
+
+    With ``traced=True`` a telemetry tracer rides along and the rendered
+    trace gains ``span``/``attribution``/``labeled`` lines plus the
+    digest of the exported Chrome trace — so schema drift in the
+    telemetry layer trips the fixture exactly like behavioural drift.
+    The simulation itself must be unaffected: the standard lines of a
+    traced run stay byte-identical to the untraced variant.
+    """
     env = Environment.build_custom(
         seed=seed,
         uplink_bandwidth=2.0e6,
         access_latency_s=0.030,
         wan_latency_s=0.045,
     )
+    tracer = None
+    if traced:
+        from repro.telemetry import attach_tracer
+
+        # Before fault injection, so window annotations are captured.
+        tracer = attach_tracer(env)
     if with_faults:
         inject_faults(env, golden_fault_schedule())
     controller = OffloadController(
@@ -130,6 +144,37 @@ def run_golden_scenario(
     snapshot = env.metrics.snapshot()
     for key in sorted(snapshot):
         lines.append(f"metric {key}={snapshot[key]!r}")
+    if tracer is not None:
+        lines.extend(_telemetry_lines(tracer))
+    return lines
+
+
+def _telemetry_lines(tracer) -> List[str]:
+    """Canonical lines for the telemetry side of a traced golden run."""
+    from repro.telemetry import build_report, dumps_chrome_trace
+
+    payload = dumps_chrome_trace(tracer, metadata={"scenario": "golden"})
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    lines = [f"trace spans={len(tracer)} chrome_digest={digest}"]
+    for span in tracer.spans:
+        lines.append(
+            f"span id={span.span_id} parent={span.parent_id} "
+            f"cat={span.category} name={span.name} "
+            f"start={span.start!r} end={span.end!r}"
+        )
+    report = build_report(tracer)
+    for job in report.jobs:
+        phases = " ".join(
+            f"{phase}={job.phase_seconds[phase]!r}"
+            for phase in sorted(job.phase_seconds)
+        )
+        lines.append(
+            f"attribution job={job.job_id} makespan={job.makespan!r} "
+            f"dominant={job.dominant_phase} {phases}"
+        )
+    labeled = tracer.metrics.snapshot()
+    for key in sorted(labeled):
+        lines.append(f"labeled {key}={labeled[key]!r}")
     return lines
 
 

@@ -102,6 +102,68 @@ class TestRun:
         assert first == second
 
 
+class TestTrace:
+    def test_run_trace_then_report(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        code = main(
+            [
+                "run", "--app", "photo_backup", "--jobs", "2",
+                "--seed", "3", "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        assert trace.exists()
+
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-job phase attribution" in out
+        assert "dominant" in out
+        assert "app=photo_backup" in out
+
+    def test_trace_is_perfetto_loadable_json(self, tmp_path):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        main(
+            [
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--trace", str(trace),
+            ]
+        )
+        doc = json.loads(trace.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"X", "i"}
+        assert doc["metadata"]["app"] == "photo_backup"
+
+    def test_report_prometheus_flag(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        main(
+            [
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", str(trace), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert 'jobs_total{app="photo_backup"' in out
+
+    def test_trace_flag_deterministic(self, tmp_path):
+        traces = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            main(
+                [
+                    "run", "--app", "photo_backup", "--jobs", "2",
+                    "--seed", "11", "--trace", str(path),
+                ]
+            )
+            traces.append(path.read_bytes())
+        assert traces[0] == traces[1]
+
+
 class TestWorkloadReplay:
     def test_run_from_trace_and_save_report(self, tmp_path, capsys):
         from repro import Job, photo_backup_app

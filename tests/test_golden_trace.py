@@ -37,6 +37,8 @@ VARIANTS = [
     ("pipeline_faults.json", True),
 ]
 
+TRACED_FIXTURE = "pipeline_traced.json"
+
 
 def _load(filename: str) -> dict:
     path = GOLDEN_DIR / filename
@@ -72,6 +74,49 @@ def test_fixture_digest_is_self_consistent():
     for filename, _ in VARIANTS:
         fixture = _load(filename)
         assert trace_digest(fixture["lines"]) == fixture["digest"], filename
+
+
+def test_traced_variant_matches_committed_fixture():
+    """The telemetry-enabled run — spans, attribution, labeled metrics,
+    and the Chrome-export digest — replays bit-for-bit, so trace-schema
+    drift is caught exactly like behavioural drift."""
+    fixture = _load(TRACED_FIXTURE)
+    assert fixture["schema"] == TRACE_SCHEMA
+    assert fixture["traced"] is True
+
+    lines = run_golden_scenario(fixture["with_faults"], traced=True)
+    assert lines == fixture["lines"], REGEN_HINT
+    assert trace_digest(lines) == fixture["digest"], REGEN_HINT
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    """The standard lines of a traced run are byte-identical to the
+    untraced variant: instrumentation adds no events and no RNG draws."""
+    untraced = run_golden_scenario(True)
+    traced = run_golden_scenario(True, traced=True)
+    assert traced[: len(untraced)] == untraced
+    extra = traced[len(untraced):]
+    assert extra, "traced run should append telemetry lines"
+    assert all(
+        line.split(" ", 1)[0] in {"trace", "span", "attribution", "labeled"}
+        for line in extra
+    )
+
+
+def test_traced_fixture_covers_fault_annotations():
+    """The traced fixture actually contains fault-window spans, retry
+    instants, and per-phase attribution — not just job spans."""
+    joined = "\n".join(_load(TRACED_FIXTURE)["lines"])
+    for marker in (
+        "cat=fault",
+        "cat=cold_start",
+        "cat=upload",
+        "cat=execute",
+        "attribution job=",
+        "labeled fault_windows_total",
+        "labeled jobs_total",
+    ):
+        assert marker in joined, f"expected telemetry marker {marker!r}"
 
 
 def test_fault_variant_actually_injects_faults():

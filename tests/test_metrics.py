@@ -31,6 +31,13 @@ class TestCounter:
         with pytest.raises(ValueError):
             Counter("c").increment(-1)
 
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="finite"):
+            counter.increment(bad)
+        assert counter.value == 0.0  # rejected before mutation
+
 
 class TestGauge:
     def test_set_and_add(self):
@@ -38,6 +45,15 @@ class TestGauge:
         gauge.set(5.0)
         gauge.add(-2.0)
         assert gauge.value == 3.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        gauge = Gauge("g", initial=1.0)
+        with pytest.raises(ValueError, match="finite"):
+            gauge.set(bad)
+        with pytest.raises(ValueError, match="finite"):
+            gauge.add(bad)
+        assert gauge.value == 1.0
 
 
 class TestSummary:
@@ -75,6 +91,18 @@ class TestSummary:
     def test_quantile_validation(self):
         with pytest.raises(ValueError):
             Summary("s").quantile(1.5)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        summary = Summary("s")
+        summary.observe(1.0)
+        with pytest.raises(ValueError, match="finite"):
+            summary.observe(bad)
+        with pytest.raises(ValueError, match="finite"):
+            summary.observe_many([2.0, bad])
+        # The bad value never entered; the batch stopped at its offender.
+        assert summary.count == 2
+        assert summary.total == 3.0
 
     def test_single_sample(self):
         summary = Summary("s")

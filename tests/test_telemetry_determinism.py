@@ -1,0 +1,77 @@
+"""Same-seed traced runs must be byte-identical, end to end.
+
+This is the telemetry layer's half of the repository's determinism
+contract: the simulator already replays identically for a fixed seed
+(tests/test_golden_trace.py); here the *exported* artifacts — the Chrome
+trace JSON and the labeled-metrics snapshots — must also match byte for
+byte, including across repeated runs inside one interpreter (where the
+process-global job counter would otherwise leak into span labels).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import photo_backup_app
+from repro.apps.jobs import Job
+from repro.core.controller import Environment, OffloadController
+from repro.faults import inject_faults
+from repro.telemetry import attach_tracer, dumps_chrome_trace
+from repro.testing.golden import golden_fault_schedule
+
+SEED = 1234
+
+
+def traced_run(with_faults: bool = False):
+    """One fully traced workload run; returns the tracer."""
+    env = Environment.build(seed=SEED)
+    tracer = attach_tracer(env)
+    if with_faults:
+        inject_faults(env, golden_fault_schedule())
+    controller = OffloadController(env, photo_backup_app())
+    controller.profile_offline()
+    controller.plan(input_mb=2.0)
+    jobs = [
+        Job(
+            controller.app,
+            input_mb=2.0,
+            released_at=45.0 * i,
+            deadline=45.0 * i + 3600.0,
+        )
+        for i in range(3)
+    ]
+    controller.run_workload(jobs)
+    return tracer
+
+
+@pytest.mark.parametrize("with_faults", [False, True])
+def test_trace_json_is_byte_identical(with_faults):
+    first = dumps_chrome_trace(traced_run(with_faults), metadata={"seed": SEED})
+    second = dumps_chrome_trace(traced_run(with_faults), metadata={"seed": SEED})
+    assert first == second
+
+
+def test_metrics_exports_are_byte_identical():
+    a, b = traced_run(), traced_run()
+    assert a.metrics.to_json() == b.metrics.to_json()
+    assert a.metrics.to_prometheus() == b.metrics.to_prometheus()
+
+
+def test_span_structure_is_identical():
+    a, b = traced_run(), traced_run()
+    assert len(a) == len(b)
+    for left, right in zip(a.spans, b.spans):
+        assert (left.span_id, left.parent_id, left.name, left.category) == (
+            right.span_id,
+            right.parent_id,
+            right.name,
+            right.category,
+        )
+        assert (left.start, left.end) == (right.start, right.end)
+        assert left.attributes == right.attributes
+        assert left.events == right.events
+
+
+def test_no_spans_leak_open():
+    tracer = traced_run(with_faults=True)
+    assert tracer.open_spans() == []

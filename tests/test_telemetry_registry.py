@@ -1,0 +1,106 @@
+"""Tests for the labeled metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import LabeledMetricsRegistry
+
+
+class TestSeriesIdentity:
+    def test_label_order_does_not_matter(self):
+        reg = LabeledMetricsRegistry()
+        a = reg.counter("jobs", app="photo", tier="cloud")
+        b = reg.counter("jobs", tier="cloud", app="photo")
+        assert a is b
+
+    def test_different_labels_are_different_series(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("jobs", app="photo").increment()
+        reg.counter("jobs", app="ocr").increment(2)
+        snap = reg.snapshot()
+        assert snap['jobs{app="photo"}'] == 1.0
+        assert snap['jobs{app="ocr"}'] == 2.0
+
+    def test_label_values_are_stringified(self):
+        reg = LabeledMetricsRegistry()
+        reg.gauge("depth", queue=3).set(7.0)
+        assert reg.snapshot() == {'depth{queue="3"}': 7.0}
+
+    def test_unlabeled_series_render_bare(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("events").increment()
+        assert reg.series_names() == ["events"]
+
+    @pytest.mark.parametrize("bad", ["", "na me", 'x"y', "a{b"])
+    def test_invalid_metric_names_rejected(self, bad):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            LabeledMetricsRegistry().counter(bad)
+
+    def test_invalid_label_names_rejected(self):
+        with pytest.raises(ValueError, match="invalid label name"):
+            LabeledMetricsRegistry().counter("ok", **{"b ad": 1})
+
+
+class TestSnapshot:
+    def test_summary_expands_to_count_sum_quantiles(self):
+        reg = LabeledMetricsRegistry()
+        reg.summary("lat", tier="cloud").observe_many([1.0, 3.0])
+        snap = reg.snapshot()
+        assert snap['lat_count{tier="cloud"}'] == 2
+        assert snap['lat_sum{tier="cloud"}'] == 4.0
+        assert snap['lat{tier="cloud",quantile="0.5"}'] == 2.0
+        assert snap['lat{tier="cloud",quantile="0.99"}'] == pytest.approx(2.98)
+
+    def test_snapshot_keys_are_sorted(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("z").increment()
+        reg.counter("a").increment()
+        assert list(reg.snapshot()) == sorted(reg.snapshot())
+
+    def test_to_json_is_stable_and_parseable(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("jobs", app="photo").increment()
+        reg.gauge("battery").set(0.5)
+        text = reg.to_json()
+        assert text == reg.to_json()  # byte-stable
+        assert json.loads(text) == reg.snapshot()
+        assert "\n" not in text  # compact by default
+
+
+class TestPrometheus:
+    def test_counters_get_total_suffix(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("jobs", app="photo").increment(3)
+        assert 'jobs_total{app="photo"} 3.0' in reg.to_prometheus()
+
+    def test_existing_total_suffix_not_doubled(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("jobs_total").increment()
+        out = reg.to_prometheus()
+        assert "jobs_total 1.0" in out
+        assert "jobs_total_total" not in out
+
+    def test_lines_sorted_with_trailing_newline(self):
+        reg = LabeledMetricsRegistry()
+        reg.gauge("z").set(1.0)
+        reg.counter("a").increment()
+        out = reg.to_prometheus()
+        assert out.endswith("\n")
+        lines = out.strip().split("\n")
+        assert lines == sorted(lines)
+
+    def test_empty_registry_renders_empty(self):
+        assert LabeledMetricsRegistry().to_prometheus() == ""
+
+
+class TestValidationPropagates:
+    def test_non_finite_rejected_through_labels(self):
+        reg = LabeledMetricsRegistry()
+        with pytest.raises(ValueError, match="finite"):
+            reg.counter("c", app="x").increment(math.inf)
+        with pytest.raises(ValueError, match="finite"):
+            reg.gauge("g").set(math.nan)
+        with pytest.raises(ValueError, match="finite"):
+            reg.summary("s").observe(-math.inf)

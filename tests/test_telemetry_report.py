@@ -1,0 +1,150 @@
+"""Tests for critical-path phase attribution and run reports."""
+
+import pytest
+
+from repro.telemetry import Tracer, build_report, report_from_file
+from repro.telemetry.report import IDLE, attribute_job
+from repro.telemetry.tracer import (
+    PHASE_COLD_START,
+    PHASE_EXECUTE,
+    PHASE_JOB,
+    PHASE_UPLOAD,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def traced_job(segments, events=(), job_id="0", app="test"):
+    """A tracer holding one job span of [0, end] with phase children.
+
+    ``segments`` is a list of ``(category, start, end)``; the job span
+    ends at the max segment end.
+    """
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    root = tracer.start_span("job0", category=PHASE_JOB, job_id=job_id, app=app)
+    end = max((e for _c, _s, e in segments), default=0.0)
+    for category, seg_start, seg_end in segments:
+        tracer.record_span("seg", category, seg_start, seg_end, parent=root)
+    for at, name, attrs in events:
+        clock.now = at
+        tracer.instant(name, parent=root, **attrs)
+    clock.now = end
+    tracer.end_span(root)
+    return tracer
+
+
+class TestAttribution:
+    def test_phases_partition_the_makespan_exactly(self):
+        tracer = traced_job(
+            [
+                (PHASE_UPLOAD, 0.0, 3.0),
+                (PHASE_EXECUTE, 3.0, 9.0),
+                (PHASE_UPLOAD, 9.0, 10.0),
+            ]
+        )
+        (job,) = build_report(tracer).jobs
+        assert sum(job.phase_seconds.values()) == pytest.approx(job.makespan)
+        assert job.phase_seconds[PHASE_UPLOAD] == pytest.approx(4.0)
+        assert job.phase_seconds[PHASE_EXECUTE] == pytest.approx(6.0)
+
+    def test_uncovered_time_is_idle(self):
+        tracer = traced_job([(PHASE_EXECUTE, 2.0, 4.0), (PHASE_EXECUTE, 6.0, 8.0)])
+        (job,) = build_report(tracer).jobs
+        assert job.phase_seconds[IDLE] == pytest.approx(4.0)  # [0,2] + [4,6]
+
+    def test_overhead_outranks_execution_when_overlapping(self):
+        # A cold start masking execution time is charged as cold start.
+        tracer = traced_job(
+            [(PHASE_EXECUTE, 0.0, 10.0), (PHASE_COLD_START, 2.0, 5.0)]
+        )
+        (job,) = build_report(tracer).jobs
+        assert job.phase_seconds[PHASE_COLD_START] == pytest.approx(3.0)
+        assert job.phase_seconds[PHASE_EXECUTE] == pytest.approx(7.0)
+        assert job.dominant_phase == PHASE_EXECUTE
+
+    def test_dominant_phase_and_share(self):
+        tracer = traced_job(
+            [(PHASE_UPLOAD, 0.0, 7.0), (PHASE_EXECUTE, 7.0, 10.0)]
+        )
+        (job,) = build_report(tracer).jobs
+        assert job.dominant_phase == PHASE_UPLOAD
+        assert job.share(PHASE_UPLOAD) == pytest.approx(0.7)
+        assert job.share("nonexistent") == 0.0
+
+    def test_wasted_cost_aggregates_by_cause(self):
+        tracer = traced_job(
+            [(PHASE_EXECUTE, 0.0, 5.0)],
+            events=[
+                (1.0, "attempt_failed", {"cause": "Boom", "wasted_usd": 0.5}),
+                (2.0, "attempt_failed", {"cause": "Boom", "wasted_usd": 0.25}),
+                (3.0, "attempt_failed", {"cause": "Outage", "wasted_usd": 0.0}),
+                (4.0, "hedge_started", {}),  # unrelated event, ignored
+            ],
+        )
+        (job,) = build_report(tracer).jobs
+        assert job.wasted_by_cause == {
+            "Boom": (2, 0.75),
+            "Outage": (1, 0.0),
+        }
+
+    def test_open_job_span_attributes_as_zero_makespan(self):
+        tracer = Tracer(FakeClock())
+        root = tracer.start_span("job0", category=PHASE_JOB)  # never ended
+        job = attribute_job(root, [])
+        assert job.makespan == 0.0
+        assert job.phase_seconds == {}
+        assert job.dominant_phase == IDLE
+
+
+class TestRunReport:
+    def test_report_sorts_jobs_and_totals(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        for offset in (10.0, 0.0):  # created out of start order
+            clock.now = offset
+            root = tracer.start_span(
+                f"job@{offset}", category=PHASE_JOB, job_id=int(offset)
+            )
+            tracer.record_span(
+                "u", PHASE_UPLOAD, offset, offset + 2.0, parent=root
+            )
+            clock.now = offset + 2.0
+            tracer.end_span(root)
+        report = build_report(tracer)
+        assert [job.job_id for job in report.jobs] == ["0", "10"]
+        assert report.phase_totals() == {PHASE_UPLOAD: pytest.approx(4.0)}
+
+    def test_render_contains_attribution_and_totals(self):
+        tracer = traced_job(
+            [(PHASE_UPLOAD, 0.0, 3.0), (PHASE_EXECUTE, 3.0, 5.0)],
+            events=[(1.0, "attempt_failed", {"cause": "X", "wasted_usd": 1.0})],
+        )
+        text = build_report(tracer, metadata={"app": "test"}).render()
+        assert "Per-job phase attribution" in text
+        assert "Phase totals across the run" in text
+        assert "Wasted cost by retry cause" in text
+        assert "trace: app=test" in text
+
+    def test_render_without_jobs(self):
+        assert "(no job spans in trace)" in build_report([]).render()
+
+    def test_report_roundtrips_through_chrome_export(self, tmp_path):
+        from repro.telemetry import write_chrome_trace
+
+        tracer = traced_job(
+            [(PHASE_UPLOAD, 0.0, 3.0), (PHASE_EXECUTE, 3.0, 9.0)],
+            events=[(2.0, "attempt_failed", {"cause": "Z", "wasted_usd": 0.1})],
+        )
+        direct = build_report(tracer)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer, metadata={"app": "test"})
+        loaded = report_from_file(path)
+        assert loaded.metadata["app"] == "test"
+        (a,), (b,) = direct.jobs, loaded.jobs
+        assert a.phase_seconds == pytest.approx(b.phase_seconds)
+        assert a.wasted_by_cause == b.wasted_by_cause
+        assert a.makespan == pytest.approx(b.makespan)

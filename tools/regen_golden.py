@@ -30,20 +30,26 @@ from repro.testing.golden import (  # noqa: E402 - path bootstrap above
 
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 VARIANTS = {
-    "pipeline_baseline.json": False,
-    "pipeline_faults.json": True,
+    "pipeline_baseline.json": {"with_faults": False},
+    "pipeline_faults.json": {"with_faults": True},
+    "pipeline_traced.json": {"with_faults": True, "traced": True},
 }
 
 
-def render(with_faults: bool) -> dict:
-    lines = run_golden_scenario(with_faults)
-    return {
+def render(with_faults: bool, traced: bool = False) -> dict:
+    lines = run_golden_scenario(with_faults, traced=traced)
+    doc = {
         "schema": TRACE_SCHEMA,
         "seed": GOLDEN_SEED,
         "with_faults": with_faults,
         "digest": trace_digest(lines),
         "lines": lines,
     }
+    if traced:
+        # Keyed only when set, so the pre-telemetry fixtures regenerate
+        # byte-identically.
+        doc["traced"] = True
+    return doc
 
 
 def main() -> int:
@@ -57,9 +63,9 @@ def main() -> int:
 
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     stale = []
-    for filename, with_faults in VARIANTS.items():
+    for filename, kwargs in VARIANTS.items():
         path = GOLDEN_DIR / filename
-        fresh = render(with_faults)
+        fresh = render(**kwargs)
         if args.check:
             current = json.loads(path.read_text()) if path.exists() else None
             if current != fresh:
