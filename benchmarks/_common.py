@@ -101,4 +101,27 @@ def emit_phase_attribution(tracer) -> None:
     print()
 
 
+def sweep_rows(cell, configs, *, workers=None, cache_dir=None):
+    """Run a benchmark's scenario grid through :mod:`repro.sweep`.
+
+    ``cell`` is a top-level function taking one config dict and returning
+    a JSON dict; ``configs`` is the grid in presentation order.  Results
+    come back in that same order (the sweep itself merges by canonical
+    config key, so parallel execution cannot reorder anything).
+
+    Workers default to the ``REPRO_BENCH_WORKERS`` environment variable
+    (``1`` = in-process, the deterministic-wall-clock default for CI);
+    export e.g. ``REPRO_BENCH_WORKERS=4`` to fan the grid out.
+    """
+    import os
+
+    from repro.sweep import SweepRunner, SweepSpec
+
+    if workers is None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    spec = SweepSpec(scenario=cell, points=list(configs))
+    result = SweepRunner(spec, workers=workers, cache_dir=cache_dir).run()
+    return result.results_for(configs)
+
+
 MBPS = 1_000_000 / 8  # bytes/second per megabit/second

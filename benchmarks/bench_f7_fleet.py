@@ -17,7 +17,7 @@ from repro.fleet import FleetController, FleetEnvironment
 from repro.metrics import Table
 from repro.serverless.platform import PlatformConfig
 
-from _common import emit
+from _common import emit, sweep_rows
 
 FLEET_SIZES = [2, 8, 32, 96]
 WINDOW_S = 2 * 3600.0
@@ -51,6 +51,19 @@ def run_fleet(n_devices):
     return report, env
 
 
+def fleet_cell(config):
+    """Sweep cell: one fleet size, reported as a JSON row."""
+    report, env = run_fleet(config["devices"])
+    return {
+        "cold_fraction": env.platform.cold_start_fraction(),
+        "jobs_completed": report.jobs_completed,
+        "per_job_usd": report.total_cloud_cost_usd / report.jobs_completed,
+        "mean_response_s": report.mean_response_s,
+        "miss_rate": report.deadline_miss_rate,
+        "platform_usd": env.platform.total_cost,
+    }
+
+
 def run_f7() -> Table:
     table = Table(
         ["devices", "cold %", "$/job", "mean resp s", "miss %",
@@ -61,18 +74,18 @@ def run_f7() -> Table:
     )
     cold_curve = []
     per_job_costs = []
-    for n_devices in FLEET_SIZES:
-        report, env = run_fleet(n_devices)
-        cold = env.platform.cold_start_fraction()
+    configs = [{"devices": n} for n in FLEET_SIZES]
+    for n_devices, cell in zip(FLEET_SIZES, sweep_rows(fleet_cell, configs)):
+        cold = cell["cold_fraction"]
         cold_curve.append(cold)
-        per_job = report.total_cloud_cost_usd / report.jobs_completed
-        per_job_costs.append(per_job)
+        per_job_costs.append(cell["per_job_usd"])
         table.add_row(
-            n_devices, 100 * cold, per_job, report.mean_response_s,
-            100 * report.deadline_miss_rate, env.platform.total_cost,
+            n_devices, 100 * cold, cell["per_job_usd"],
+            cell["mean_response_s"], 100 * cell["miss_rate"],
+            cell["platform_usd"],
         )
-        assert report.jobs_completed == n_devices
-        assert report.deadline_miss_rate == 0.0
+        assert cell["jobs_completed"] == n_devices
+        assert cell["miss_rate"] == 0.0
     # Density melts cold starts away without provisioning anything.
     assert all(a >= b - 0.02 for a, b in zip(cold_curve, cold_curve[1:]))
     assert cold_curve[-1] < 0.25 * cold_curve[0]

@@ -19,12 +19,13 @@ from repro.core.partitioning import (
     ObjectiveWeights,
     Partition,
     PartitionContext,
+    PartitionEvaluation,
     evaluate_partition,
     pareto_front,
 )
 from repro.metrics import Table
 
-from _common import emit
+from _common import emit, sweep_rows
 
 INPUT_MB = 4.0
 UPLINK_BPS = 5e5  # 4 Mbit/s: near the crossover, where trades are real
@@ -39,14 +40,39 @@ def make_context(weights=None):
     )
 
 
+def pareto_cell(config):
+    """Sweep cell: price one partition on every axis."""
+    app, ctx = make_context()
+    partition = Partition(app.name, frozenset(config["cloud"]))
+    evaluation = evaluate_partition(ctx, partition)
+    return {
+        "serialized_latency_s": evaluation.serialized_latency_s,
+        "makespan_s": evaluation.makespan_s,
+        "ue_energy_j": evaluation.ue_energy_j,
+        "cloud_cost_usd": evaluation.cloud_cost_usd,
+        "objective": evaluation.objective,
+    }
+
+
 def all_evaluations(app, ctx):
     offloadable = app.offloadable_names()
-    evaluations = []
-    for r in range(len(offloadable) + 1):
-        for subset in itertools.combinations(offloadable, r):
-            partition = Partition(app.name, frozenset(subset))
-            evaluations.append(evaluate_partition(ctx, partition))
-    return evaluations
+    configs = [
+        {"cloud": sorted(subset)}
+        for r in range(len(offloadable) + 1)
+        for subset in itertools.combinations(offloadable, r)
+    ]
+    cells = sweep_rows(pareto_cell, configs)
+    return [
+        PartitionEvaluation(
+            partition=Partition(app.name, frozenset(config["cloud"])),
+            serialized_latency_s=cell["serialized_latency_s"],
+            makespan_s=cell["makespan_s"],
+            ue_energy_j=cell["ue_energy_j"],
+            cloud_cost_usd=cell["cloud_cost_usd"],
+            objective=cell["objective"],
+        )
+        for config, cell in zip(configs, cells)
+    ]
 
 
 def two_axis_frontier(evaluations):

@@ -27,7 +27,7 @@ from repro.metrics import Table, stable_digest
 from repro.serverless import RetryPolicy
 from repro.sim.rng import RngStream
 
-from _common import emit
+from _common import emit, sweep_rows
 
 SEED = 171
 INTENSITIES = [0.0, 0.3, 0.6, 1.0]
@@ -105,6 +105,11 @@ def run_cell(name: str, schedule: FaultSchedule):
     }
 
 
+def chaos_cell(config):
+    """Sweep cell: one (intensity, controller) pair of the campaign grid."""
+    return run_cell(config["controller"], chaos_schedule(config["intensity"]))
+
+
 def run_r1() -> Table:
     table = Table(
         [
@@ -126,23 +131,27 @@ def run_r1() -> Table:
         precision=3,
     )
     miss_rates = {}
-    for intensity in INTENSITIES:
-        schedule = chaos_schedule(intensity)
-        for name in CONTROLLERS:
-            cell = run_cell(name, schedule)
-            miss_rates[(intensity, name)] = cell["miss_rate"]
-            table.add_row(
-                intensity,
-                name,
-                100.0 * cell["miss_rate"],
-                cell["failed_jobs"],
-                cell["mean_response_s"],
-                f"{cell['cloud_usd']:.2e}",
-                int(cell["fallbacks"]),
-                int(cell["hedges"]),
-                int(cell["outage_waits"]),
-                int(cell["reclamations"]),
-            )
+    configs = [
+        {"intensity": intensity, "controller": name}
+        for intensity in INTENSITIES
+        for name in CONTROLLERS
+    ]
+    cells = sweep_rows(chaos_cell, configs)
+    for config, cell in zip(configs, cells):
+        intensity, name = config["intensity"], config["controller"]
+        miss_rates[(intensity, name)] = cell["miss_rate"]
+        table.add_row(
+            intensity,
+            name,
+            100.0 * cell["miss_rate"],
+            cell["failed_jobs"],
+            cell["mean_response_s"],
+            f"{cell['cloud_usd']:.2e}",
+            int(cell["fallbacks"]),
+            int(cell["hedges"]),
+            int(cell["outage_waits"]),
+            int(cell["reclamations"]),
+        )
 
     # Determinism: the most chaotic cell, run twice from the same seed,
     # must reproduce its *entire* metric registry bit-for-bit.

@@ -7,8 +7,11 @@ Exposes the library's main flows without writing code::
     python -m repro run  --app ml_training --jobs 5 --slack 3600 \\
                          --scheduler batcher --window 600
     python -m repro pipeline --app nightly_analytics
+    python -m repro sweep --grid '{"connectivity": ["3g", "4g"]}' \\
+                          --seeds 3 --workers 4 --out merged.json
 
-Every command is deterministic for a given ``--seed``.
+Every command is deterministic for a given ``--seed``; ``sweep`` output
+is additionally byte-identical regardless of ``--workers``.
 """
 
 from __future__ import annotations
@@ -271,6 +274,51 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.sweep import SweepRunner, SweepSpec, canonical_json
+
+    if args.spec:
+        spec = SweepSpec.from_file(args.spec)
+    else:
+        try:
+            grid = json.loads(args.grid) if args.grid else {}
+            base = json.loads(args.base) if args.base else {}
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"--grid/--base must be valid JSON: {error}")
+        if not isinstance(grid, dict) or not isinstance(base, dict):
+            raise SystemExit("--grid and --base must be JSON objects")
+        spec = SweepSpec(
+            scenario=args.scenario, base=base, grid=grid, seeds=args.seeds
+        )
+    workers = args.workers if args.workers else (os.cpu_count() or 1)
+    runner = SweepRunner(spec, workers=workers, cache_dir=args.cache_dir)
+    started = time.perf_counter()
+    result = runner.run()
+    wall_s = time.perf_counter() - started
+
+    if args.out:
+        Path(args.out).write_text(result.merged_json())
+        print(f"merged results written to {args.out}")
+    if args.manifest:
+        Path(args.manifest).write_text(canonical_json(result.manifest()) + "\n")
+        print(f"manifest written to {args.manifest}")
+
+    table = Table(["metric", "value"], title="Sweep summary", precision=2)
+    table.add_row("scenario", spec.scenario_name)
+    table.add_row("configs", len(result))
+    table.add_row("executed", result.executed)
+    table.add_row("cached", result.cached)
+    table.add_row("workers", workers)
+    table.add_row("wall s", wall_s)
+    print(table)
+    return 0
+
+
 def cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.cicd import SourceRepository
     from repro.core.pipeline import OffloadPipeline, PipelineConfig
@@ -354,6 +402,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(analyze)
 
+    sweep = sub.add_parser(
+        "sweep", help="fan a scenario grid out across worker processes"
+    )
+    sweep.add_argument(
+        "--scenario", default="repro.sweep.scenarios:offload_run",
+        help="importable 'module:function' taking one config dict",
+    )
+    sweep.add_argument(
+        "--spec", default=None,
+        help="JSON sweep-spec file (overrides --scenario/--grid/--base/--seeds)",
+    )
+    sweep.add_argument(
+        "--grid", default=None,
+        help='JSON object of parameter axes, e.g. \'{"connectivity": ["3g", "4g"]}\'',
+    )
+    sweep.add_argument(
+        "--base", default=None,
+        help="JSON object merged into every config",
+    )
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="seed replications per grid point")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes (default: all cores)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="per-config result cache directory "
+                            "(e.g. .sweep_cache); re-runs execute only "
+                            "the delta")
+    sweep.add_argument("--out", default=None,
+                       help="write the merged results JSON here "
+                            "(byte-identical across worker counts)")
+    sweep.add_argument("--manifest", default=None,
+                       help="write the execution manifest JSON here")
+
     return parser
 
 
@@ -365,6 +446,7 @@ COMMANDS = {
     "report": cmd_report,
     "run": cmd_run,
     "pipeline": cmd_pipeline,
+    "sweep": cmd_sweep,
 }
 
 

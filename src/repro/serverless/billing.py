@@ -25,11 +25,20 @@ class CostBreakdown:
         """Request fee plus compute fee."""
         return self.request_cost + self.compute_cost
 
-    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+    def __add__(self, other: object) -> "CostBreakdown":
+        if not isinstance(other, CostBreakdown):
+            return NotImplemented
         return CostBreakdown(
             self.request_cost + other.request_cost,
             self.compute_cost + other.compute_cost,
         )
+
+    def __radd__(self, other: object) -> "CostBreakdown":
+        # ``sum(costs)`` starts from the int 0; accept exactly that zero so
+        # breakdowns aggregate with the builtin, and nothing else.
+        if other == 0:
+            return self
+        return NotImplemented
 
     @staticmethod
     def zero() -> "CostBreakdown":

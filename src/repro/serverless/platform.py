@@ -537,8 +537,10 @@ class ServerlessPlatform:
     def total_cost(self) -> float:
         """Accumulated bill across every function, in USD — invocation
         charges (including failed attempts) plus provisioned capacity."""
-        invocations = sum(s.cost.total for s in self._functions.values())
-        return invocations + self.provisioned_cost()
+        invocations = sum(
+            (s.cost for s in self._functions.values()), CostBreakdown.zero()
+        )
+        return invocations.total + self.provisioned_cost()
 
     def function_cost(self, name: str) -> CostBreakdown:
         """Accumulated bill of one function."""

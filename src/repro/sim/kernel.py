@@ -121,15 +121,19 @@ class Process(Event):
                 "processes must yield Event instances"
             )
         if target.processed:
-            # The event already fired; resume on the next kernel step.
+            # The event already fired; resume on the next kernel step.  The
+            # relay is tracked as ``_waiting_on`` and delivers through
+            # ``_resume`` for success *and* failure, so an interrupt arriving
+            # before the relay fires can detach it — otherwise the stale
+            # outcome would be delivered a second time at the process's next
+            # yield point.
             relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
             if target.ok:
-                relay.callbacks.append(self._resume)
                 relay.succeed(target.value)
             else:
-                relay.callbacks.append(lambda _e: self._throw(target.value))
-                relay.succeed(None)
-            self._waiting_on = None
+                relay.fail(target.value)
+            self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
             self._waiting_on = target

@@ -198,6 +198,70 @@ class TestWorkloadReplay:
             main(["run", "--app", "ml_training", "--workload", str(trace)])
 
 
+class TestSweep:
+    def _argv(self, tmp_path, tag, workers):
+        return [
+            "sweep",
+            "--scenario", "repro.sweep.scenarios:kernel_smoke",
+            "--grid", '{"processes": [2, 4, 6], "interrupt_every": [2, 3]}',
+            "--workers", str(workers),
+            "--cache-dir", str(tmp_path / f"cache-{tag}"),
+            "--out", str(tmp_path / f"merged-{tag}.json"),
+            "--manifest", str(tmp_path / f"manifest-{tag}.json"),
+        ]
+
+    def test_sweep_writes_merged_output_and_manifest(self, tmp_path, capsys):
+        import json
+
+        assert main(self._argv(tmp_path, "a", 1)) == 0
+        out = capsys.readouterr().out
+        assert "Sweep summary" in out
+        merged = json.loads((tmp_path / "merged-a.json").read_text())
+        assert len(merged["runs"]) == 6
+        manifest = json.loads((tmp_path / "manifest-a.json").read_text())
+        assert manifest["total"] == 6
+        assert manifest["executed"] == 6
+
+    def test_sweep_output_byte_identical_across_workers(self, tmp_path):
+        main(self._argv(tmp_path, "serial", 1))
+        main(self._argv(tmp_path, "parallel", 2))
+        serial = (tmp_path / "merged-serial.json").read_bytes()
+        parallel = (tmp_path / "merged-parallel.json").read_bytes()
+        assert serial == parallel
+
+    def test_sweep_cached_rerun_is_byte_identical(self, tmp_path, capsys):
+        import json
+
+        argv = self._argv(tmp_path, "c", 1)
+        main(argv)
+        first = (tmp_path / "merged-c.json").read_bytes()
+        main(argv)
+        second = (tmp_path / "merged-c.json").read_bytes()
+        assert first == second
+        manifest = json.loads((tmp_path / "manifest-c.json").read_text())
+        assert manifest["executed"] == 0
+        assert manifest["cached"] == 6
+
+    def test_sweep_from_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "scenario": "repro.sweep.scenarios:kernel_smoke",
+            "grid": {"processes": [2, 3]},
+            "seeds": 2,
+        }))
+        out = tmp_path / "merged.json"
+        assert main(["sweep", "--spec", str(spec), "--workers", "1",
+                     "--out", str(out)]) == 0
+        merged = json.loads(out.read_text())
+        assert len(merged["runs"]) == 4
+
+    def test_sweep_rejects_bad_grid_json(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "{not json", "--workers", "1"])
+
+
 class TestAnalyze:
     def test_analyze_outputs_breakevens(self, capsys):
         code = main(["analyze", "--app", "photo_backup"])

@@ -23,6 +23,39 @@ class TestCostBreakdown:
         a = CostBreakdown(1.0, 2.0)
         assert (a + CostBreakdown.zero()).total == a.total
 
+    def test_sum_aggregates_breakdowns(self):
+        """Regression: ``sum(costs)`` starts from int 0, which used to
+        raise ``TypeError`` because ``__radd__`` was missing."""
+        costs = [
+            CostBreakdown(1.0, 2.0),
+            CostBreakdown(0.5, 0.25),
+            CostBreakdown(0.25, 0.125),
+        ]
+        total = sum(costs)
+        assert isinstance(total, CostBreakdown)
+        assert total.request_cost == pytest.approx(1.75)
+        assert total.compute_cost == pytest.approx(2.375)
+
+    def test_sum_with_explicit_zero_start(self):
+        assert sum([], CostBreakdown.zero()) == CostBreakdown.zero()
+        assert sum(
+            [CostBreakdown(1.0, 1.0)], CostBreakdown.zero()
+        ).total == pytest.approx(2.0)
+
+    def test_add_foreign_type_is_typeerror(self):
+        with pytest.raises(TypeError):
+            CostBreakdown(1.0, 2.0) + 1.5  # noqa: B018 - operator under test
+        with pytest.raises(TypeError):
+            CostBreakdown(1.0, 2.0) + "usd"  # noqa: B018
+
+    def test_radd_accepts_only_zero(self):
+        cost = CostBreakdown(1.0, 2.0)
+        assert 0 + cost == cost
+        with pytest.raises(TypeError):
+            1 + cost  # noqa: B018
+        with pytest.raises(TypeError):
+            2.5 + cost  # noqa: B018
+
 
 class TestBillingModel:
     def test_defaults_are_lambda_2022(self):

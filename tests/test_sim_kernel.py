@@ -1,6 +1,8 @@
 """Unit tests for the simulation kernel (Simulator, Process)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.sim import Interrupt, SimulationError, Simulator
 
@@ -214,6 +216,169 @@ class TestInterruption:
         sim.spawn(killer(sim, victim))
         sim.run()
         assert resumes == ["interrupt", "after"]
+
+
+class TestInterruptRelayRace:
+    """Regression: exactly-once delivery when an interrupt races the
+    relay of an already-processed wait target.
+
+    Pre-fix, ``_wait_on`` on a processed event set ``_waiting_on = None``
+    before the relay fired, so ``interrupt()`` could not detach the relay
+    callback — the process received the ``Interrupt`` and then had the
+    stale original outcome delivered *again* at its next yield point.
+    """
+
+    def test_interrupt_on_processed_failed_event_delivers_once(self, sim):
+        failed = sim.event()
+        failed.fail(RuntimeError("original"))
+        sim.run()
+
+        deliveries = []
+
+        def waiter(sim):
+            try:
+                yield failed
+                deliveries.append("value")
+            except Interrupt:
+                deliveries.append("interrupt")
+            except RuntimeError:
+                deliveries.append("original")
+            try:
+                yield sim.timeout(5.0)
+                deliveries.append("timeout-ok")
+            except BaseException as error:  # noqa: BLE001
+                deliveries.append(f"stale:{type(error).__name__}")
+
+        process = sim.spawn(waiter(sim))
+        process.interrupt("cancel")
+        sim.run()
+        assert deliveries == ["interrupt", "timeout-ok"]
+
+    def test_interrupt_on_processed_succeeded_event_delivers_once(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+
+        deliveries = []
+
+        def waiter(sim):
+            try:
+                value = yield done
+                deliveries.append(("value", value))
+            except Interrupt:
+                deliveries.append("interrupt")
+            got = yield sim.timeout(5.0, "tick")
+            deliveries.append(("timeout", got, sim.now))
+
+        process = sim.spawn(waiter(sim))
+        process.interrupt()
+        sim.run()
+        assert deliveries == ["interrupt", ("timeout", "tick", 5.0)]
+
+    def test_uninterrupted_processed_failure_still_delivered(self, sim):
+        failed = sim.event()
+        failed.fail(RuntimeError("original"))
+        sim.run()
+
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield failed
+            except RuntimeError as error:
+                caught.append(str(error))
+            return "survived"
+
+        process = sim.spawn(waiter(sim))
+        assert sim.run(until=process) == "survived"
+        assert caught == ["original"]
+
+
+class TestInterruptDeliveryProperty:
+    """Property: whatever the interrupt races against, every exception is
+    delivered into the process exactly once and the heap drains clean."""
+
+    @given(
+        kind=st.sampled_from(
+            ["timeout", "processed_ok", "processed_fail", "never"]
+        ),
+        immediate=st.booleans(),
+        interrupt_delay=st.floats(
+            min_value=0.0, max_value=8.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+        wait_delay=st.floats(
+            min_value=0.0, max_value=6.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+    )
+    def test_exactly_once_delivery(
+        self, kind, immediate, interrupt_delay, wait_delay
+    ):
+        sim = Simulator()
+        deliveries = []
+
+        if kind == "processed_ok":
+            target = sim.event()
+            target.succeed("early")
+            sim.run()
+        elif kind == "processed_fail":
+            target = sim.event()
+            target.fail(RuntimeError("boom"))
+            sim.run()
+        elif kind == "never":
+            target = sim.event()  # only the interrupt can free the waiter
+        else:
+            target = sim.timeout(wait_delay)
+
+        def victim(sim):
+            try:
+                yield target
+                deliveries.append("first-ok")
+            except Interrupt:
+                deliveries.append("first-interrupt")
+            except RuntimeError:
+                deliveries.append("first-fail")
+            try:
+                yield sim.timeout(3.0)
+                deliveries.append("second-ok")
+            except Interrupt:
+                deliveries.append("second-interrupt")
+            except RuntimeError:
+                deliveries.append("second-fail")
+
+        process = sim.spawn(victim(sim))
+        if immediate:
+            process.interrupt("now")
+        else:
+
+            def killer(sim):
+                yield sim.timeout(interrupt_delay)
+                process.interrupt("later")
+
+            sim.spawn(killer(sim))
+        sim.run()
+
+        # Exactly one delivery per stage, never a stale second one.
+        assert len(deliveries) == 2, deliveries
+        assert deliveries[0].startswith("first-")
+        assert deliveries[1].startswith("second-")
+        # One interrupt was issued, so at most one can be delivered.
+        assert deliveries.count("first-interrupt") + deliveries.count(
+            "second-interrupt"
+        ) <= 1
+        # The target's failure can reach the process at most once, and
+        # never at the second yield point (that would be the stale relay).
+        assert deliveries.count("first-fail") <= 1
+        assert "second-fail" not in deliveries
+        # Heap consistency: the run drained every scheduled event and the
+        # event counter is stable (no orphan callbacks left behind).
+        assert sim.peek() == float("inf")
+        assert not process.is_alive
+        processed = sim.events_processed
+        assert processed > 0
+        sim.run()
+        assert sim.events_processed == processed
 
 
 class TestDeterminism:

@@ -1,24 +1,32 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md by running every benchmark.
 
-Usage:  python tools/make_experiments.py [output-path]
+Usage:  python tools/make_experiments.py [output-path] [--workers N]
 
 Each experiment's table (and ASCII figure, where one exists) is captured
 from the same `run_*` functions the pytest-benchmark harness uses, so
 the document always matches `pytest benchmarks/ --benchmark-only`
 exactly.  The verdict prose lives here; when a model change shifts the
 numbers, update the prose alongside it.
+
+The sections are independent simulations, so they fan out across worker
+processes through :mod:`repro.sweep` (all cores by default); the merge is
+ordered by section, never by completion, so the document is identical for
+any worker count.
 """
 
 from __future__ import annotations
 
+import argparse
 import io
 import contextlib
+import os
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "benchmarks"))
+sys.path.insert(0, str(REPO / "tools"))
 
 HEADER = """# EXPERIMENTS — paper vs. measured
 
@@ -400,18 +408,36 @@ def build_sections():
     ]
 
 
-def main(output: str = "EXPERIMENTS.md") -> None:
+def run_experiment(config):
+    """Sweep cell: run one experiment section, return its captured body."""
+    exp_id = config["experiment"]
+    for section_id, _title, _claim, runner, _verdict in build_sections():
+        if section_id == exp_id:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                runner()
+            return {"experiment": exp_id, "body": buffer.getvalue().strip()}
+    raise ValueError(f"unknown experiment {exp_id!r}")
+
+
+def main(output: str = "EXPERIMENTS.md", workers: int = 0) -> None:
+    from repro.sweep import SweepRunner, SweepSpec
+
+    sections = build_sections()
+    configs = [{"experiment": exp_id} for exp_id, *_ in sections]
+    spec = SweepSpec(scenario="make_experiments:run_experiment", points=configs)
+    result = SweepRunner(spec, workers=workers or os.cpu_count() or 1).run()
+    bodies = {
+        cell["experiment"]: cell["body"]
+        for cell in result.results_for(configs)
+    }
     parts = [HEADER]
-    for exp_id, title, claim, runner, verdict in build_sections():
-        buffer = io.StringIO()
-        with contextlib.redirect_stdout(buffer):
-            runner()
-        body = buffer.getvalue().strip()
+    for exp_id, title, claim, _runner, verdict in sections:
         parts.append(f"\n## {exp_id} — {title}\n")
         if claim:
             parts.append(f"**Claim:** {claim}\n")
         parts.append("**Measured:**\n")
-        parts.append(f"```\n{body}\n```\n")
+        parts.append(f"```\n{bodies[exp_id]}\n```\n")
         parts.append(verdict + "\n")
         print(f"done {exp_id}", file=sys.stderr)
     parts.append("\n" + FOOTER)
@@ -420,4 +446,9 @@ def main(output: str = "EXPERIMENTS.md") -> None:
 
 
 if __name__ == "__main__":
-    main(*sys.argv[1:])
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    cli.add_argument("--workers", type=int, default=0,
+                     help="worker processes (default: all cores)")
+    cli_args = cli.parse_args()
+    main(cli_args.output, workers=cli_args.workers)
