@@ -124,4 +124,30 @@ def sweep_rows(cell, configs, *, workers=None, cache_dir=None):
     return result.results_for(configs)
 
 
+def write_bench_summary(name: str, payload: dict) -> None:
+    """Write ``BENCH_<name>.json`` when ``REPRO_BENCH_JSON`` is set.
+
+    The environment variable names a directory (created if missing); CI
+    exports it and uploads the resulting files as build artifacts so
+    cross-commit trends can be scraped without parsing stdout tables.
+    The payload is dumped as canonical JSON (sorted keys) plus the
+    benchmark name, so same-config runs diff cleanly.
+    """
+    import json
+    import os
+    from pathlib import Path
+
+    out_dir = os.environ.get("REPRO_BENCH_JSON")
+    if not out_dir:
+        return
+    document = {"bench": name, **payload}
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=2, default=str) + "\n"
+    )
+    print(f"bench summary written to {path}")
+
+
 MBPS = 1_000_000 / 8  # bytes/second per megabit/second

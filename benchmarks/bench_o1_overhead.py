@@ -30,7 +30,7 @@ from repro.sim import Simulator
 from repro.telemetry import attach_tracer
 from repro.telemetry.tracer import PHASE_EXECUTE
 
-from _common import emit
+from _common import emit, write_bench_summary
 
 N_EVENTS = 200_000
 REPEATS = 5
@@ -130,6 +130,16 @@ def run_o1() -> Table:
     # Recording is allowed to cost real time; it must at least have
     # actually recorded (sanity that the enabled row measured tracing).
     assert best["enabled"] >= best["disabled"]
+    write_bench_summary(
+        "o1_overhead",
+        {
+            "events": N_EVENTS,
+            "repeats": REPEATS,
+            "wall_s": {config: best[config] for config in CONFIGS},
+            "disabled_overhead_pct": 100.0 * (disabled_ratio - 1.0),
+            "budget_pct": 100.0 * MAX_DISABLED_OVERHEAD,
+        },
+    )
     return table
 
 

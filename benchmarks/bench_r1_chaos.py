@@ -27,7 +27,7 @@ from repro.metrics import Table, stable_digest
 from repro.serverless import RetryPolicy
 from repro.sim.rng import RngStream
 
-from _common import emit, sweep_rows
+from _common import emit, sweep_rows, write_bench_summary
 
 SEED = 171
 INTENSITIES = [0.0, 0.3, 0.6, 1.0]
@@ -170,6 +170,19 @@ def run_r1() -> Table:
         miss_rates[(storm, "degrade")] < miss_rates[(storm, "retry")]
     ), "degradation-aware controller should out-survive retry-only"
     assert miss_rates[(storm, "retry")] <= miss_rates[(storm, "naive")]
+    write_bench_summary(
+        "r1_chaos",
+        {
+            "seed": SEED,
+            "jobs": N_JOBS,
+            "intensities": INTENSITIES,
+            "miss_rate": {
+                f"{intensity}/{name}": rate
+                for (intensity, name), rate in sorted(miss_rates.items())
+            },
+            "worst_cell_digest": first["digest"],
+        },
+    )
     return table
 
 

@@ -9,6 +9,7 @@ Exposes the library's main flows without writing code::
     python -m repro pipeline --app nightly_analytics
     python -m repro sweep --grid '{"connectivity": ["3g", "4g"]}' \\
                           --seeds 3 --workers 4 --out merged.json
+    python -m repro diff baseline_trace.json candidate_trace.json
 
 Every command is deterministic for a given ``--seed``; ``sweep`` output
 is additionally byte-identical regardless of ``--workers``.
@@ -224,10 +225,28 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if not report.failures else 1
 
 
+def _load_artifact(loader, path: str):
+    """Run ``loader(path)``, mapping load failures to a one-line exit 2.
+
+    Missing files surface as ``OSError``, truncated/non-JSON content as
+    ``json.JSONDecodeError`` (a ``ValueError`` subclass), and JSON of
+    the wrong shape as ``ValueError`` — all user-input problems, so they
+    get one stderr line and exit code 2 instead of a traceback.
+    """
+    try:
+        return loader(path)
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    except ValueError as error:
+        print(f"error: {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry import report_from_file
 
-    run_report = report_from_file(args.trace)
+    run_report = _load_artifact(report_from_file, args.trace)
     print(run_report.render())
     if args.prometheus:
         print()
@@ -237,6 +256,47 @@ def cmd_report(args: argparse.Namespace) -> int:
         ):
             print(line)
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.monitor.diff import diff_profiles, load_profile
+
+    before = _load_artifact(load_profile, args.before)
+    after = _load_artifact(load_profile, args.after)
+    try:
+        result = diff_profiles(before, after, threshold=args.threshold)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    table = Table(
+        ["metric", "before", "after", "delta", "rel %", "regressed"],
+        title=f"{result.kind} diff (threshold {args.threshold:.0%})",
+        precision=6,
+    )
+    for row in result.rows:
+        rel = (
+            "n/a" if math.isinf(row.relative) else f"{100 * row.relative:+.2f}"
+        )
+        table.add_row(
+            row.metric, row.before, row.after, row.delta, rel,
+            "REGRESSED" if row.regressed else "",
+        )
+    print(table)
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n"
+        )
+        print(f"diff written to {args.out}")
+    if result.ok:
+        print("OK: no regressions above threshold.")
+        return 0
+    names = ", ".join(row.metric for row in result.regressions)
+    print(f"REGRESSION: {len(result.regressions)} metric(s) worsened "
+          f">= {args.threshold:.0%}: {names}")
+    return 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -393,6 +453,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also dump the labeled metrics in Prometheus "
                              "text format")
 
+    diff = sub.add_parser(
+        "diff", help="compare two traces or reports phase by phase"
+    )
+    diff.add_argument("before", help="baseline trace/report JSON")
+    diff.add_argument("after", help="candidate trace/report JSON")
+    diff.add_argument("--threshold", type=float, default=0.05,
+                      help="relative worsening that counts as a regression "
+                           "(default 0.05 = 5%%)")
+    diff.add_argument("--out", default=None,
+                      help="also write the full diff as JSON here")
+
     pipeline = sub.add_parser("pipeline", help="run the CI/CD pipeline once")
     common(pipeline)
     pipeline.add_argument("--canary-jobs", type=int, default=3)
@@ -440,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 COMMANDS = {
     "analyze": cmd_analyze,
+    "diff": cmd_diff,
     "list-apps": cmd_list_apps,
     "list-profiles": cmd_list_profiles,
     "plan": cmd_plan,

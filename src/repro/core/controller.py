@@ -319,6 +319,8 @@ class OffloadController:
         dvfs: bool = False,
         admission_control: bool = False,
         degradation: Optional[DegradationPolicy] = None,
+        observed_signals: bool = False,
+        monitor: Optional[Any] = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -351,6 +353,16 @@ class OffloadController:
         #: hedged duplicates, fallback-to-local).  None keeps the legacy
         #: retry-only cloud path, byte-identical to pre-fault behaviour.
         self.degradation = degradation
+        #: When True, the controller consumes only signals a production
+        #: system could observe: demand observations are derived from
+        #: measured execution durations (not the oracle's actual
+        #: gigacycles), :meth:`profile_offline` is a no-op, and planning
+        #: link rates come from the attached ``monitor``'s windowed
+        #: goodput when available.  Ablation A10 compares the two modes.
+        self.observed_signals = observed_signals
+        #: Optional :class:`~repro.monitor.monitor.Monitor` supplying
+        #: observed link-throughput history for planning.
+        self.monitor = monitor
 
         self.partition: Optional[Partition] = None
         self.allocation: Dict[str, AllocationDecision] = {}
@@ -374,7 +386,14 @@ class OffloadController:
         repetitions: int = 3,
         noise_sigma: float = 0.1,
     ) -> None:
-        """Run the CI-style profiling sweep and train the demand model."""
+        """Run the CI-style profiling sweep and train the demand model.
+
+        In observed-signal mode this is a no-op: the oracle profiler is
+        exactly the signal that mode forswears, so the demand model
+        starts from its priors and learns from monitored executions.
+        """
+        if self.observed_signals:
+            return
         profiler = Profiler(
             self.env.rng.stream(f"profiler.{self.app.name}"), noise_sigma
         )
@@ -389,7 +408,17 @@ class OffloadController:
         instead.  A link never yet seen up prices in at 1 kbit/s, which
         makes remote work prohibitively expensive and plans the job
         locally — the right call while the radio is dark.
+
+        In observed-signal mode with a monitor attached, the windowed
+        goodput measured from completed transfers is preferred; the
+        legacy estimator only bootstraps planning before any transfer
+        has been observed.
         """
+        if self.observed_signals and self.monitor is not None:
+            observed = self.monitor.link_rate(key, self.env.sim.now)
+            if observed is not None and observed > 0:
+                self._last_rates[key] = observed
+                return observed
         rate = path.bottleneck_rate(self.env.sim.now)
         if rate > 0:
             self._last_rates[key] = rate
@@ -638,6 +667,7 @@ class OffloadController:
                 yield sim.all_of(incoming)
             nominal = job.component_work(name)
             actual = self.env.actual_work(nominal, self._exec_rng)
+            observed_gcycles: Optional[float] = None
             tier = "cloud" if partition.is_cloud(name) else "local"
             comp_span = tracer.start_span(
                 name,
@@ -667,6 +697,10 @@ class OffloadController:
                         rng=self._exec_rng,
                     )
                     cost_usd += outcome.total_cost
+                    if self.observed_signals:
+                        observed_gcycles = self._observed_cloud_gcycles(
+                            outcome.invocation
+                        )
                     # The UE idles for the whole cloud episode, retries
                     # included.
                     charge(
@@ -674,9 +708,13 @@ class OffloadController:
                         self.env.ue.spec.energy.idle_energy(sim.now - entered),
                     )
                 else:
-                    cost_usd += yield from self._degraded_cloud_episode(
-                        job, request, actual, frequency, charge, comp_span
+                    episode_cost, episode_observed = (
+                        yield from self._degraded_cloud_episode(
+                            job, request, actual, frequency, charge, comp_span
+                        )
                     )
+                    cost_usd += episode_cost
+                    observed_gcycles = episode_observed
             else:
                 exec_span = tracer.start_span(
                     name,
@@ -689,12 +727,25 @@ class OffloadController:
                 )
                 tracer.end_span(exec_span, energy_j=execution.energy_j)
                 charge("compute", execution.energy_j)
+                if self.observed_signals:
+                    observed_gcycles = self._observed_local_gcycles(
+                        execution, frequency
+                    )
             tracer.end_span(comp_span)
+            if self.observed_signals:
+                # Feed what a production system could measure: gigacycles
+                # recovered from wall-clock durations through the known
+                # duration model, never the oracle's `actual`.
+                measured = (
+                    observed_gcycles if observed_gcycles is not None else actual
+                )
+            else:
+                measured = actual
             observations.append(
                 DemandObservation(
                     component=name,
                     input_mb=job.input_mb,
-                    measured_gcycles=actual,
+                    measured_gcycles=measured,
                     at_time=sim.now,
                 )
             )
@@ -832,11 +883,13 @@ class OffloadController:
         frequency: float,
         charge: Callable[[str, float], None],
         parent=None,
-    ) -> Generator[Event, Any, float]:
+    ) -> Generator[Event, Any, Tuple[float, Optional[float]]]:
         """One cloud component under the degradation policy.
 
         Delegated into from the job process (``yield from``); returns the
-        USD cost attributed to the job.  The cloud episode (hedged,
+        USD cost attributed to the job plus the duration-derived demand
+        estimate (gigacycles) when observed-signal mode is on, else
+        ``None``.  The cloud episode (hedged,
         outage-aware retries) races a fallback budget derived from the
         job's remaining deadline slack: when the budget elapses or the
         cloud fails terminally, the component runs on the UE instead — an
@@ -885,7 +938,12 @@ class OffloadController:
                 metrics.counter(f"{self.app.name}.attempts_wasted").increment(
                     payload.attempts - 1
                 )
-            return cost
+            observed = (
+                self._observed_cloud_gcycles(payload.invocation)
+                if self.observed_signals
+                else None
+            )
+            return cost, observed
 
         cloud_errors = (RetriesExhaustedError, InvocationFailedError, ThrottledError)
         if payload is not None and not isinstance(payload, cloud_errors):
@@ -921,7 +979,36 @@ class OffloadController:
         )
         tracer.end_span(fallback_span, energy_j=execution.energy_j)
         charge("compute", execution.energy_j)
-        return cost
+        observed = (
+            self._observed_local_gcycles(execution, frequency)
+            if self.observed_signals
+            else None
+        )
+        return cost, observed
+
+    def _observed_cloud_gcycles(self, invocation) -> float:
+        """Demand implied by a cloud invocation's measured duration.
+
+        Inverts the deployed function's duration model at the memory the
+        invocation actually ran with; a straggler-inflated runtime
+        honestly inflates the estimate — that is the point.
+        """
+        spec = self.env.platform.spec(invocation.request.function)
+        if spec.memory_mb != invocation.memory_mb:
+            spec = spec.with_memory(invocation.memory_mb)
+        return spec.work_for_duration(invocation.execution_time)
+
+    def _observed_local_gcycles(
+        self, execution, frequency: float
+    ) -> float:
+        """Demand implied by a local execution's wall-clock latency.
+
+        Uses the device's known clock rate at the chosen DVFS point;
+        core-contention wait inflates the estimate, as it would for any
+        on-device profiler reading timestamps.
+        """
+        cycles_per_second = self.env.ue.spec.cycles_per_second * frequency
+        return execution.latency * cycles_per_second / 1e9
 
     def _maybe_replan(self, job: Job) -> None:
         if not self.adaptive:

@@ -412,6 +412,29 @@ class DemandModel:
             for observation in rows:
                 self.observe(observation)
 
+    def ingest_history(
+        self, observations: Iterable[DemandObservation], strict: bool = False
+    ) -> int:
+        """Feed monitored-history observations; returns how many landed.
+
+        The observed-signal path (:mod:`repro.monitor.observed`) derives
+        observations from telemetry rather than the oracle profiler, so
+        records for components this app does not know (another app's
+        functions sharing the platform) are skipped unless ``strict``.
+        """
+        ingested = 0
+        for observation in observations:
+            if observation.component not in self.estimators:
+                if strict:
+                    raise KeyError(
+                        f"unknown component {observation.component!r} "
+                        f"for app {self.app.name!r}"
+                    )
+                continue
+            self.estimators[observation.component].observe(observation)
+            ingested += 1
+        return ingested
+
     def predict(self, component: str, input_mb: float) -> float:
         """Predicted demand of ``component`` at ``input_mb``."""
         return self.estimators[component].predict(input_mb)

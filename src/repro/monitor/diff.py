@@ -1,0 +1,216 @@
+"""Cross-run comparison of trace and report files (``repro diff``).
+
+Loads two artifacts of the same kind — Chrome trace-event exports
+(``repro run --trace``) or saved controller reports (``repro run
+--save-report``) — reduces each to a flat metric profile, and compares
+them metric by metric:
+
+* a **trace** profile carries per-phase attributed seconds
+  (``phase/upload``, ``phase/execute``, …), job count, total makespan,
+  total cloud cost (from job spans) and wasted spend;
+* a **report** profile carries the saved summary scalars (jobs
+  completed, failures, deadline-miss rate, mean response, energy,
+  cost).
+
+Each metric knows its good direction (``jobs_completed`` up, everything
+else down), so a *regression* is a worsening by at least
+``threshold`` (relative) **and** ``abs_floor`` (absolute — float noise
+is not a regression).  The CLI maps regressions to a non-zero exit for
+use as a cheap perf gate locally and in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = [
+    "DiffRow",
+    "TraceDiff",
+    "diff_files",
+    "diff_profiles",
+    "load_profile",
+]
+
+#: Metrics where a larger value is an improvement, not a regression.
+_HIGHER_IS_BETTER = frozenset({"jobs", "jobs_completed"})
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One artifact reduced to comparable scalars."""
+
+    kind: str  # "trace" | "report"
+    path: str
+    metrics: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One metric compared across the two artifacts."""
+
+    metric: str
+    before: float
+    after: float
+    delta: float
+    relative: float  # delta / |before|, inf when before == 0 and delta != 0
+    regressed: bool
+
+
+@dataclass
+class TraceDiff:
+    """The full comparison of two artifacts."""
+
+    kind: str
+    before_path: str
+    after_path: str
+    rows: List[DiffRow]
+    threshold: float
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "kind": self.kind,
+            "before": self.before_path,
+            "after": self.after_path,
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "rows": [
+                {
+                    "metric": row.metric,
+                    "before": row.before,
+                    "after": row.after,
+                    "delta": row.delta,
+                    "relative": row.relative,
+                    "regressed": row.regressed,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def load_profile(path: Union[str, Path]) -> Profile:
+    """Reduce one artifact file to a :class:`Profile`.
+
+    Raises ``OSError`` for unreadable paths, ``json.JSONDecodeError``
+    for truncated/non-JSON content, and ``ValueError`` for JSON that is
+    neither a Chrome trace nor a saved report — the CLI turns each into
+    a one-line error.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a trace or report file")
+    if "traceEvents" in payload:
+        return _trace_profile(path)
+    if "summary" in payload and payload.get("version") is not None:
+        return _report_profile(path, payload)
+    raise ValueError(f"{path}: not a trace or report file")
+
+
+def _trace_profile(path: Union[str, Path]) -> Profile:
+    from repro.telemetry.exporters import load_chrome_trace
+    from repro.telemetry.report import build_report
+    from repro.telemetry.tracer import PHASE_JOB
+
+    spans, metadata, metrics = load_chrome_trace(path)
+    report = build_report(spans, metadata=metadata, metrics=metrics)
+    out: Dict[str, float] = {}
+    for phase, seconds in report.phase_totals().items():
+        out[f"phase/{phase}"] = seconds
+    out["jobs"] = float(len(report.jobs))
+    out["makespan_total_s"] = sum(job.makespan for job in report.jobs)
+    out["wasted_usd"] = sum(
+        usd for _, usd in report.wasted_totals().values()
+    )
+    out["cloud_cost_usd"] = sum(
+        float(span.attributes.get("cloud_cost_usd", 0.0))
+        for span in spans
+        if span.category == PHASE_JOB
+    )
+    return Profile(kind="trace", path=str(path), metrics=out)
+
+
+def _report_profile(path: Union[str, Path], payload: Dict) -> Profile:
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        raise ValueError(f"{path}: malformed report summary")
+    out: Dict[str, float] = {}
+    for name, value in summary.items():
+        if isinstance(value, (int, float)) and value is not None:
+            out[name] = float(value)
+    return Profile(kind="report", path=str(path), metrics=out)
+
+
+def diff_profiles(
+    before: Profile,
+    after: Profile,
+    threshold: float = 0.05,
+    abs_floor: float = 1e-9,
+) -> TraceDiff:
+    """Compare two profiles; rows sorted by metric name.
+
+    A row regresses when the *bad* direction moves by at least
+    ``threshold`` relatively and ``abs_floor`` absolutely.  Metrics
+    present in only one profile compare against 0.0.
+    """
+    if before.kind != after.kind:
+        raise ValueError(
+            f"cannot diff a {before.kind} file against a {after.kind} file"
+        )
+    rows: List[DiffRow] = []
+    for metric in sorted(set(before.metrics) | set(after.metrics)):
+        a = before.metrics.get(metric, 0.0)
+        b = after.metrics.get(metric, 0.0)
+        delta = b - a
+        if delta == 0.0:
+            relative = 0.0
+        elif a != 0.0:
+            relative = delta / abs(a)
+        else:
+            relative = float("inf") if delta > 0 else float("-inf")
+        worsening = -delta if metric in _HIGHER_IS_BETTER else delta
+        worse_rel = -relative if metric in _HIGHER_IS_BETTER else relative
+        regressed = worsening >= abs_floor and worse_rel >= threshold
+        rows.append(
+            DiffRow(
+                metric=metric,
+                before=a,
+                after=b,
+                delta=delta,
+                relative=relative,
+                regressed=regressed,
+            )
+        )
+    return TraceDiff(
+        kind=before.kind,
+        before_path=before.path,
+        after_path=after.path,
+        rows=rows,
+        threshold=threshold,
+    )
+
+
+def diff_files(
+    before: Union[str, Path],
+    after: Union[str, Path],
+    threshold: float = 0.05,
+    abs_floor: float = 1e-9,
+) -> TraceDiff:
+    """Load and compare two artifact files of the same kind."""
+    return diff_profiles(
+        load_profile(before),
+        load_profile(after),
+        threshold=threshold,
+        abs_floor=abs_floor,
+    )

@@ -1,0 +1,107 @@
+"""Observed-signal demand: monitored history → demand observations.
+
+The controller's in-flight observed mode (``observed_signals=True``)
+already derives per-job demand from measured durations.  This module
+closes the *offline* half of the loop: given a
+:class:`~repro.monitor.monitor.Monitor` that watched a run, replay its
+execution history into a :class:`~repro.core.demand.DemandModel` — the
+monitored analogue of :meth:`OffloadController.profile_offline`, built
+purely from signals a production platform exports (function name, wall
+duration, memory size), never the oracle's gigacycles.
+
+The inversion is exact because the duration model is linear in work
+(see :meth:`FunctionSpec.work_for_duration`); what the oracle-free
+estimate *honestly* inherits is every runtime distortion the platform
+injected — stragglers, contention — which is precisely the signal a
+real tuner like COSE or Lambda Power Tuning consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.demand import DemandModel
+from repro.monitor.monitor import Monitor, ObservedExecution
+from repro.profiling.profiler import DemandObservation
+
+__all__ = ["ObservedDemandFeed", "observations_from_history"]
+
+
+def observations_from_history(
+    executions: List[ObservedExecution],
+    platform: Any,
+    app: Any,
+    input_mb: float,
+    function_prefix: str = "",
+) -> List[DemandObservation]:
+    """Convert monitored executions into demand observations.
+
+    Function names follow the controller's ``{prefix}{app}.{component}``
+    convention; records for functions of other apps sharing the platform
+    are skipped.  ``input_mb`` is the workload's input size — execute
+    spans do not carry it, so the feed assumes the homogeneous-input
+    workloads the benchmarks run (heterogeneous sizes would need the
+    size threaded through the invocation tag).
+    """
+    prefix = f"{function_prefix}{app.name}."
+    known = set(app.component_names)
+    out: List[DemandObservation] = []
+    for record in executions:
+        if not record.function.startswith(prefix):
+            continue
+        component = record.function[len(prefix):]
+        if component not in known:
+            continue
+        spec = platform.spec(record.function)
+        if record.memory_mb > 0 and spec.memory_mb != record.memory_mb:
+            spec = spec.with_memory(record.memory_mb)
+        out.append(
+            DemandObservation(
+                component=component,
+                input_mb=input_mb,
+                measured_gcycles=spec.work_for_duration(record.duration_s),
+                at_time=record.at,
+            )
+        )
+    return out
+
+
+class ObservedDemandFeed:
+    """Incrementally pumps a monitor's execution history into a model.
+
+    Keeps a cursor into ``monitor.executions`` so repeated :meth:`pump`
+    calls (e.g. on every replan) ingest each record exactly once.
+    """
+
+    def __init__(
+        self,
+        monitor: Monitor,
+        platform: Any,
+        app: Any,
+        input_mb: float,
+        function_prefix: str = "",
+    ) -> None:
+        self.monitor = monitor
+        self.platform = platform
+        self.app = app
+        self.input_mb = input_mb
+        self.function_prefix = function_prefix
+        self._cursor = 0
+
+    def pump(self, demand_model: Optional[DemandModel] = None,
+             ) -> List[DemandObservation]:
+        """Convert history since the last pump; optionally ingest it.
+
+        Returns the new observations (so callers can inspect or route
+        them); when ``demand_model`` is given they are ingested into it.
+        """
+        history = self.monitor.executions
+        fresh = history[self._cursor:]
+        self._cursor = len(history)
+        observations = observations_from_history(
+            fresh, self.platform, self.app, self.input_mb,
+            self.function_prefix,
+        )
+        if demand_model is not None and observations:
+            demand_model.ingest_history(observations)
+        return observations

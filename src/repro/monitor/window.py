@@ -1,0 +1,179 @@
+"""Sliding-window aggregation over bucketed sim-time observations.
+
+A :class:`WindowedSeries` accepts timestamped observations (an optional
+value, a good/bad flag, and named extras) and bins them into fixed-width
+time buckets.  Querying :meth:`aggregate` folds every bucket that
+intersects ``(now - window_s, now]`` into one :class:`WindowAggregate`:
+event count, bad count, value sum, a merged
+:class:`~repro.monitor.sketch.QuantileSketch`, summed extras (bytes,
+cost, cold starts) and maxed extras (queue depth).
+
+Buckets are the determinism boundary: windows are aligned to bucket
+edges, so an aggregate covers *at least* ``window_s`` and at most one
+extra bucket of history — the same answer for the same sim clock, every
+run.  Buckets older than the retention horizon are pruned on write, so
+memory stays bounded by ``horizon_s / bucket_s`` regardless of run
+length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from repro.monitor.sketch import QuantileSketch
+
+__all__ = ["WindowAggregate", "WindowedSeries"]
+
+
+class _Bucket:
+    __slots__ = ("count", "bad", "value_sum", "sketch", "extras", "extras_max")
+
+    def __init__(self, alpha: float) -> None:
+        self.count = 0
+        self.bad = 0
+        self.value_sum = 0.0
+        self.sketch = QuantileSketch(alpha)
+        self.extras: Dict[str, float] = {}
+        self.extras_max: Dict[str, float] = {}
+
+
+class WindowAggregate:
+    """The fold of every bucket intersecting one query window."""
+
+    __slots__ = (
+        "window_s", "count", "bad", "value_sum", "sketch", "extras",
+        "extras_max",
+    )
+
+    def __init__(self, window_s: float, alpha: float) -> None:
+        self.window_s = window_s
+        self.count = 0
+        self.bad = 0
+        self.value_sum = 0.0
+        self.sketch = QuantileSketch(alpha)
+        self.extras: Dict[str, float] = {}
+        self.extras_max: Dict[str, float] = {}
+
+    @property
+    def rate_per_s(self) -> float:
+        """Events per second over the window."""
+        return self.count / self.window_s if self.window_s > 0 else 0.0
+
+    @property
+    def error_ratio(self) -> float:
+        """Bad events / all events (0.0 when the window is empty)."""
+        return self.bad / self.count if self.count else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when no values were recorded)."""
+        valued = self.sketch.count
+        return self.value_sum / valued if valued else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Windowed value quantile, or ``None`` with no valued events."""
+        return self.sketch.quantile(q)
+
+    def extra(self, name: str, default: float = 0.0) -> float:
+        """Summed extra ``name`` over the window."""
+        return self.extras.get(name, default)
+
+    def extra_max(self, name: str, default: float = 0.0) -> float:
+        """Maxed extra ``name`` over the window."""
+        return self.extras_max.get(name, default)
+
+
+class WindowedSeries:
+    """Time-bucketed observations supporting sliding-window queries."""
+
+    __slots__ = ("bucket_s", "horizon_s", "alpha", "_buckets", "total_count")
+
+    def __init__(
+        self,
+        bucket_s: float = 10.0,
+        horizon_s: float = 3600.0,
+        alpha: float = 0.01,
+    ) -> None:
+        if bucket_s <= 0:
+            raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+        if horizon_s < bucket_s:
+            raise ValueError("horizon_s must cover at least one bucket")
+        self.bucket_s = bucket_s
+        self.horizon_s = horizon_s
+        self.alpha = alpha
+        self._buckets: Dict[int, _Bucket] = {}
+        self.total_count = 0
+
+    def observe(
+        self,
+        at: float,
+        value: Optional[float] = None,
+        bad: bool = False,
+        extras: Optional[Mapping[str, float]] = None,
+        extras_max: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Record one event at sim time ``at``.
+
+        ``value`` (when given) feeds the quantile sketch and value sum;
+        ``bad`` feeds the error ratio; ``extras`` accumulate by sum and
+        ``extras_max`` by max within the bucket.
+        """
+        if not math.isfinite(at) or at < 0.0:
+            raise ValueError(f"observation time must be finite and >= 0: {at}")
+        index = int(at // self.bucket_s)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = _Bucket(self.alpha)
+            self._prune(index)
+        bucket.count += 1
+        self.total_count += 1
+        if bad:
+            bucket.bad += 1
+        if value is not None:
+            bucket.value_sum += value
+            bucket.sketch.add(value)
+        if extras:
+            for name in extras:
+                bucket.extras[name] = bucket.extras.get(name, 0.0) + extras[name]
+        if extras_max:
+            for name in extras_max:
+                prev = bucket.extras_max.get(name)
+                if prev is None or extras_max[name] > prev:
+                    bucket.extras_max[name] = extras_max[name]
+
+    def _prune(self, newest_index: int) -> None:
+        floor_index = newest_index - int(self.horizon_s // self.bucket_s) - 1
+        if floor_index <= min(self._buckets, default=newest_index):
+            return
+        for index in [i for i in self._buckets if i < floor_index]:
+            del self._buckets[index]
+
+    def aggregate(self, now: float, window_s: float) -> WindowAggregate:
+        """Fold buckets intersecting ``(now - window_s, now]``.
+
+        The window is bucket-aligned: the oldest included bucket is the
+        one containing ``now - window_s``, so coverage is at least
+        ``window_s`` (never less) and the result depends only on the
+        recorded observations and the query arguments.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        out = WindowAggregate(window_s, self.alpha)
+        first = int(max(0.0, now - window_s) // self.bucket_s)
+        last = int(now // self.bucket_s)
+        for index in sorted(self._buckets):
+            if index < first or index > last:
+                continue
+            bucket = self._buckets[index]
+            out.count += bucket.count
+            out.bad += bucket.bad
+            out.value_sum += bucket.value_sum
+            out.sketch.merge(bucket.sketch)
+            for name in bucket.extras:
+                out.extras[name] = out.extras.get(name, 0.0) + bucket.extras[name]
+            for name in bucket.extras_max:
+                prev = out.extras_max.get(name)
+                if prev is None or bucket.extras_max[name] > prev:
+                    out.extras_max[name] = bucket.extras_max[name]
+        return out

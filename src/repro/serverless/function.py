@@ -114,6 +114,21 @@ class FunctionSpec:
             work_gcycles, self.memory_mb, self.parallel_fraction
         )
 
+    def work_for_duration(self, seconds: float) -> float:
+        """Gigacycles that a run of ``seconds`` corresponds to.
+
+        The exact inverse of :meth:`duration_for` — the duration model
+        is linear in work, so observed wall time recovers demand without
+        an oracle.  This is how the observed-signal mode turns monitored
+        execution durations back into demand observations (a straggler's
+        inflated runtime honestly inflates the estimate).
+        """
+        if seconds < 0:
+            raise ValueError(f"duration must be >= 0, got {seconds}")
+        cores = vcpus_for_memory(self.memory_mb)
+        speedup = amdahl_speedup(cores, self.parallel_fraction)
+        return seconds * speedup * REFERENCE_CYCLES_PER_SECOND / 1e9
+
 
 @dataclass(frozen=True)
 class InvocationRequest:

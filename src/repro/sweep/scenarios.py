@@ -107,6 +107,36 @@ def offload_run(config: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def monitored_run(config: Dict[str, Any]) -> Dict[str, Any]:
+    """The monitored golden scenario as a sweep cell.
+
+    Config keys (all optional): ``faults`` (default true), ``seed``.
+    Returns the canonical alert log plus its digest, so a sweep across
+    worker counts proves the monitoring plane's byte-identity claim —
+    the merged JSON must not depend on scheduling of worker processes.
+    """
+    import hashlib
+
+    from repro.testing.golden import GOLDEN_SEED, run_monitored_scenario
+
+    result = run_monitored_scenario(
+        bool(config.get("faults", True)),
+        seed=int(config.get("seed", GOLDEN_SEED)),
+    )
+    log = result["alert_log"]
+    return {
+        "faults": result["with_faults"],
+        "seed": result["seed"],
+        "jobs_completed": result["jobs_completed"],
+        "failures": result["failures"],
+        "sim_end_s": result["sim_end_s"],
+        "fired_slos": result["fired_slos"],
+        "alert_log": log,
+        "alert_digest": hashlib.sha256(log.encode("utf-8")).hexdigest(),
+        "health": result["health"],
+    }
+
+
 def kernel_smoke(config: Dict[str, Any]) -> Dict[str, Any]:
     """A pure-kernel micro-simulation — fast enough for smoke tests.
 
@@ -150,4 +180,4 @@ def kernel_smoke(config: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-__all__ = ["kernel_smoke", "offload_run"]
+__all__ = ["kernel_smoke", "monitored_run", "offload_run"]

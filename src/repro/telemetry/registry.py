@@ -8,7 +8,8 @@ the same :class:`~repro.metrics.collectors.Counter` / ``Gauge`` /
 formats:
 
 * :meth:`to_prometheus` — the Prometheus text exposition format
-  (``name{label="value"} 1.0`` lines, sorted);
+  (``# HELP``/``# TYPE`` headers plus ``name{label="value"} 1.0``
+  sample lines, families and samples sorted, label values escaped);
 * :meth:`snapshot` / :meth:`to_json` — a flat, deterministically ordered
   mapping suitable for byte-identical comparison across same-seed runs.
 
@@ -49,6 +50,24 @@ def _render_series(key: SeriesKey, extra: Tuple[Tuple[str, str], ...] = ()) -> s
     if not labels:
         return name
     body = ",".join(f'{label}="{value}"' for label, value in labels)
+    return f"{name}{{{body}}}"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_prom(key: SeriesKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    name, labels = key
+    labels = labels + extra
+    if not labels:
+        return name
+    body = ",".join(
+        f'{label}="{_escape_label_value(value)}"' for label, value in labels
+    )
     return f"{name}{{{body}}}"
 
 
@@ -126,32 +145,47 @@ class LabeledMetricsRegistry:
         )
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition of every series, sorted by line.
+        """Prometheus text exposition, grouped per metric family.
 
-        Counters render with a ``_total`` suffix per convention unless
-        the name already carries one; summaries render quantile series
-        plus ``_count`` and ``_sum``.
+        Each family renders a ``# HELP`` and ``# TYPE`` header followed
+        by its sample lines in sorted order; families themselves are
+        sorted by name.  Counters render with a ``_total`` suffix per
+        convention unless the name already carries one; summaries render
+        quantile series plus ``_count`` and ``_sum`` samples under one
+        family.  Label values are escaped (backslash, double quote,
+        newline), so hostile values cannot break the line format.
         """
-        lines: List[str] = []
+        families: Dict[Tuple[str, str], List[str]] = {}
         for key, counter in self._counters.items():
             name, labels = key
             if not name.endswith("_total"):
                 name = f"{name}_total"
-            lines.append(f"{_render_series((name, labels))} {counter.value!r}")
+            families.setdefault((name, "counter"), []).append(
+                f"{_render_prom((name, labels))} {counter.value!r}"
+            )
         for key, gauge in self._gauges.items():
-            lines.append(f"{_render_series(key)} {gauge.value!r}")
+            name, _ = key
+            families.setdefault((name, "gauge"), []).append(
+                f"{_render_prom(key)} {gauge.value!r}"
+            )
         for key, summary in self._summaries.items():
             name, labels = key
+            samples = families.setdefault((name, "summary"), [])
             for q in SUMMARY_QUANTILES:
-                rendered = _render_series(key, extra=(("quantile", str(q)),))
-                lines.append(f"{rendered} {summary.quantile(q)!r}")
-            lines.append(
-                f"{_render_series((f'{name}_count', labels))} {summary.count}"
+                rendered = _render_prom(key, extra=(("quantile", str(q)),))
+                samples.append(f"{rendered} {summary.quantile(q)!r}")
+            samples.append(
+                f"{_render_prom((f'{name}_count', labels))} {summary.count}"
             )
-            lines.append(
-                f"{_render_series((f'{name}_sum', labels))} {summary.total!r}"
+            samples.append(
+                f"{_render_prom((f'{name}_sum', labels))} {summary.total!r}"
             )
-        return "\n".join(sorted(lines)) + ("\n" if lines else "")
+        lines: List[str] = []
+        for name, kind in sorted(families):
+            lines.append(f"# HELP {name} Simulated metric {name}.")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(sorted(families[(name, kind)]))
+        return "\n".join(lines) + ("\n" if lines else "")
 
 
 __all__ = ["LabeledMetricsRegistry", "SUMMARY_QUANTILES"]

@@ -180,6 +180,12 @@ class NullTracer:
     ) -> None:
         return None
 
+    def subscribe(self, listener: Any) -> None:
+        raise RuntimeError(
+            "cannot subscribe to the disabled tracer; attach a recording "
+            "Tracer (attach_tracer) before attaching listeners"
+        )
+
     @property
     def spans(self) -> List[Span]:
         return []
@@ -210,7 +216,7 @@ class Tracer:
         :class:`~repro.sim.kernel.Simulator` the traced world runs on.
     """
 
-    __slots__ = ("clock", "_spans", "_next_id", "metrics")
+    __slots__ = ("clock", "_spans", "_next_id", "metrics", "_listeners")
 
     enabled = True
 
@@ -219,6 +225,23 @@ class Tracer:
         self._spans: List[Span] = []
         self._next_id = 1
         self.metrics = LabeledMetricsRegistry()
+        self._listeners: List[Any] = []
+
+    # -- listeners ---------------------------------------------------------
+
+    def subscribe(self, listener: Any) -> None:
+        """Register a listener for finished spans and instant events.
+
+        A listener implements ``on_span_end(span)`` (called when a span
+        closes via :meth:`end_span` or arrives pre-closed via
+        :meth:`record_span`) and ``on_instant(at, name, attributes,
+        parent)`` (called for every :meth:`instant`; ``parent`` is the
+        owning span or ``None``).  Listeners are notified in subscription
+        order, synchronously, on the simulated clock — they must never
+        mutate the span or schedule simulator events from the callback,
+        or determinism (and golden fixtures) break.
+        """
+        self._listeners.append(listener)
 
     # -- recording ---------------------------------------------------------
 
@@ -258,6 +281,9 @@ class Tracer:
             self.metrics.summary(
                 "span_seconds", category=span.category
             ).observe(span.duration)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_span_end(span)
 
     def end_subtree(self, root: Span, **attributes: Any) -> None:
         """End ``root`` and every still-open descendant at the current time.
@@ -314,6 +340,9 @@ class Tracer:
             self.metrics.summary("span_seconds", category=category).observe(
                 end - start
             )
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_span_end(span)
         return span
 
     def instant(
@@ -330,6 +359,9 @@ class Tracer:
             span = self.start_span(name, category="")
             span.end = span.start
             span.events.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_instant(record[0], name, record[2], target)
 
     # -- reading -----------------------------------------------------------
 

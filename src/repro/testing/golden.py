@@ -73,18 +73,8 @@ def golden_fault_schedule() -> FaultSchedule:
     )
 
 
-def run_golden_scenario(
-    with_faults: bool, seed: int = GOLDEN_SEED, traced: bool = False
-) -> List[str]:
-    """Run the pinned scenario and return its canonical trace lines.
-
-    With ``traced=True`` a telemetry tracer rides along and the rendered
-    trace gains ``span``/``attribution``/``labeled`` lines plus the
-    digest of the exported Chrome trace — so schema drift in the
-    telemetry layer trips the fixture exactly like behavioural drift.
-    The simulation itself must be unaffected: the standard lines of a
-    traced run stay byte-identical to the untraced variant.
-    """
+def _build_golden_env(seed: int, with_faults: bool, traced: bool):
+    """The pinned environment (and optional tracer) every variant shares."""
     env = Environment.build_custom(
         seed=seed,
         uplink_bandwidth=2.0e6,
@@ -99,6 +89,11 @@ def run_golden_scenario(
         tracer = attach_tracer(env)
     if with_faults:
         inject_faults(env, golden_fault_schedule())
+    return env, tracer
+
+
+def _run_golden_workload(env):
+    """Plan and run the pinned workload on ``env``; returns the report."""
     controller = OffloadController(
         env,
         photo_backup_app(),
@@ -124,7 +119,23 @@ def run_golden_scenario(
         )
         for i in range(_N_JOBS)
     ]
-    report = controller.run_workload(jobs)
+    return controller.run_workload(jobs)
+
+
+def run_golden_scenario(
+    with_faults: bool, seed: int = GOLDEN_SEED, traced: bool = False
+) -> List[str]:
+    """Run the pinned scenario and return its canonical trace lines.
+
+    With ``traced=True`` a telemetry tracer rides along and the rendered
+    trace gains ``span``/``attribution``/``labeled`` lines plus the
+    digest of the exported Chrome trace — so schema drift in the
+    telemetry layer trips the fixture exactly like behavioural drift.
+    The simulation itself must be unaffected: the standard lines of a
+    traced run stay byte-identical to the untraced variant.
+    """
+    env, tracer = _build_golden_env(seed, with_faults, traced)
+    report = _run_golden_workload(env)
 
     lines: List[str] = [
         f"schema={TRACE_SCHEMA} seed={seed} faults={with_faults}",
@@ -183,10 +194,136 @@ def trace_digest(lines: List[str]) -> str:
     return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
 
 
+def monitoring_chaos_schedule() -> FaultSchedule:
+    """The R1-style chaos campaign of the *monitored* scenario.
+
+    Every golden window plus an uplink outage placed mid-upload of the
+    second job, so a transfer demonstrably stalls across the dead zone
+    — the signal the link-outage SLO must catch.  (The golden schedule
+    itself stays pinned; the fixtures depend on it.)
+    """
+    windows = list(golden_fault_schedule().windows)
+    windows.append(
+        FaultWindow(FaultKind.LINK_OUTAGE, 92.0, 140.0, target="uplink")
+    )
+    return FaultSchedule(windows)
+
+
+def golden_monitoring_slos():
+    """The pinned SLO set of the monitored golden scenario.
+
+    Thresholds are tuned against the pinned workload so the fault-free
+    run never alerts while the chaos run trips the link-outage detector
+    (an upload stalled across the uplink ``LINK_OUTAGE`` window) and
+    the cold-start-spike detector (sandboxes destroyed by the
+    ``SANDBOX_RECLAIM`` window) — see ``tests/test_monitor.py``.
+    """
+    from repro.monitor import (
+        AvailabilitySLO,
+        ColdStartSLO,
+        CostSLO,
+        LatencySLO,
+    )
+    from repro.monitor.monitor import KIND_LINK
+
+    return [
+        AvailabilitySLO("zone-availability", objective=0.95),
+        LatencySLO(
+            "link-outage",
+            KIND_LINK,
+            "uplink",
+            threshold_s=10.0,
+            objective=0.5,
+            signal="throughput",
+        ),
+        ColdStartSLO("cold-start-spike", objective=0.7),
+        CostSLO("cost-budget", usd_per_hour=1.0),
+    ]
+
+
+def golden_monitoring_rules():
+    """Burn-rate rules sized to the pinned workload's event rates.
+
+    The golden run emits a handful of events per minute, so the stock
+    SRE windows (meant for request floods) would never clear their
+    ``min_events`` gates; these keep the same two-window shape at the
+    scenario's scale.
+    """
+    from repro.monitor import BurnRateRule
+
+    return (
+        BurnRateRule("fast", short_s=60.0, long_s=300.0, factor=2.0,
+                     min_events=6, severity="page"),
+        BurnRateRule("slow", short_s=300.0, long_s=1800.0, factor=1.2,
+                     min_events=12, severity="ticket"),
+    )
+
+
+def golden_monitoring_rule_overrides():
+    """Per-SLO rule overrides for the monitored golden scenario.
+
+    Link transfers arrive once per job, so the shared ``min_events``
+    gates would mask even a total uplink outage; the link SLO gets a
+    sparse-series rule pair instead.
+    """
+    from repro.monitor import BurnRateRule
+
+    return {
+        "link-outage": (
+            BurnRateRule("outage", short_s=120.0, long_s=600.0, factor=1.0,
+                         min_events=1, severity="page"),
+        ),
+    }
+
+
+def run_monitored_scenario(with_faults: bool, seed: int = GOLDEN_SEED):
+    """The golden scenario with the monitoring plane riding along.
+
+    Returns a dict with the workload summary, the canonical alert log,
+    the engine's final report, and the sorted names of SLOs that fired —
+    everything the determinism and alerting tests assert on.  The
+    monitor is a pure observer, so the simulation is byte-identical to
+    the traced golden variant.
+    """
+    from repro.monitor import attach_monitoring
+
+    env, tracer = _build_golden_env(seed, with_faults=False, traced=True)
+    if with_faults:
+        inject_faults(env, monitoring_chaos_schedule())
+    plane = attach_monitoring(
+        env,
+        golden_monitoring_slos(),
+        rules=golden_monitoring_rules(),
+        eval_interval_s=30.0,
+        rule_overrides=golden_monitoring_rule_overrides(),
+    )
+    report = _run_golden_workload(env)
+    engine = plane.engine
+    engine.evaluate(env.sim.now)  # final sweep so short-lived tails clear
+    return {
+        "seed": seed,
+        "with_faults": with_faults,
+        "jobs_completed": report.jobs_completed,
+        "failures": len(report.failures),
+        "sim_end_s": env.sim.now,
+        "alert_log": engine.alert_log(),
+        "fired_slos": sorted({alert.slo for alert in engine.alerts}),
+        "health": engine.health(env.sim.now),
+        "report": engine.report(env.sim.now),
+        "plane": plane,
+        "tracer": tracer,
+    }
+
+
 __all__ = [
     "GOLDEN_SEED",
     "TRACE_SCHEMA",
     "golden_fault_schedule",
+    "golden_monitoring_rule_overrides",
+    "golden_monitoring_rules",
+    "golden_monitoring_slos",
+    "monitoring_chaos_schedule",
     "run_golden_scenario",
+    "run_monitored_scenario",
     "trace_digest",
 ]

@@ -262,6 +262,116 @@ class TestSweep:
             main(["sweep", "--grid", "{not json", "--workers", "1"])
 
 
+class TestDiff:
+    def _report(self, tmp_path, name, summary):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps({"version": 1, "summary": summary}))
+        return str(path)
+
+    def test_identical_reports_exit_zero(self, tmp_path, capsys):
+        a = self._report(tmp_path, "a.json", {"mean_response_s": 10.0})
+        b = self._report(tmp_path, "b.json", {"mean_response_s": 10.0})
+        assert main(["diff", a, b]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        a = self._report(tmp_path, "a.json", {"mean_response_s": 10.0})
+        b = self._report(tmp_path, "b.json", {"mean_response_s": 12.0})
+        assert main(["diff", a, b, "--threshold", "0.1"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "mean_response_s" in out
+
+    def test_improvement_exits_zero(self, tmp_path, capsys):
+        a = self._report(tmp_path, "a.json", {"mean_response_s": 10.0})
+        b = self._report(tmp_path, "b.json", {"mean_response_s": 5.0})
+        assert main(["diff", a, b]) == 0
+
+    def test_out_flag_writes_canonical_json(self, tmp_path, capsys):
+        import json
+
+        a = self._report(tmp_path, "a.json", {"cost": 1.0})
+        b = self._report(tmp_path, "b.json", {"cost": 2.0})
+        out = tmp_path / "diff.json"
+        main(["diff", a, b, "--out", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert doc["rows"][0]["metric"] == "cost"
+
+    def test_mixed_kinds_exit_two(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        main(
+            [
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--trace", str(trace),
+            ]
+        )
+        report = self._report(tmp_path, "r.json", {"cost": 1.0})
+        capsys.readouterr()
+        assert main(["diff", str(trace), report]) == 2
+        err = capsys.readouterr().err
+        assert "cannot diff" in err
+
+    def test_trace_diff_same_run_exits_zero(self, tmp_path, capsys):
+        traces = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            main(
+                [
+                    "run", "--app", "photo_backup", "--jobs", "2",
+                    "--seed", "11", "--trace", str(path),
+                ]
+            )
+            traces.append(str(path))
+        capsys.readouterr()
+        assert main(["diff", *traces]) == 0
+
+
+class TestArtifactErrors:
+    """Missing/truncated/non-JSON inputs: one stderr line, exit 2."""
+
+    def _assert_one_error_line(self, capsys):
+        err = capsys.readouterr().err.strip()
+        assert len(err.splitlines()) == 1
+        assert err.startswith("error:")
+
+    @pytest.mark.parametrize("command", ["report", "diff"])
+    def test_missing_file(self, command, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        argv = [command, missing] + ([missing] if command == "diff" else [])
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        self._assert_one_error_line(capsys)
+
+    @pytest.mark.parametrize("command", ["report", "diff"])
+    def test_truncated_json(self, command, tmp_path, capsys):
+        path = tmp_path / "cut.json"
+        path.write_text('{"traceEvents": [')
+        argv = [command, str(path)] + (
+            [str(path)] if command == "diff" else []
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        self._assert_one_error_line(capsys)
+
+    @pytest.mark.parametrize("command", ["report", "diff"])
+    def test_wrong_shape_json(self, command, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        argv = [command, str(path)] + (
+            [str(path)] if command == "diff" else []
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        self._assert_one_error_line(capsys)
+
+
 class TestAnalyze:
     def test_analyze_outputs_breakevens(self, capsys):
         code = main(["analyze", "--app", "photo_backup"])

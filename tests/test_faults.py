@@ -448,6 +448,104 @@ class TestHedgedInvocation:
             invoke_hedged(platform, InvocationRequest("f", 1.0), hedge_after_s=0.0)
 
 
+class _ScriptedPlatform:
+    """The minimal platform surface ``invoke_hedged`` touches, with
+    exact per-call durations and outcomes — the only way to pin both
+    lanes to the *same* finish instant and exercise the both-finish
+    race deterministically."""
+
+    def __init__(self, sim, script):
+        from repro.metrics import MetricRegistry
+
+        self.sim = sim
+        self.name = "stub"
+        self.metrics = MetricRegistry()
+        self._script = list(script)  # (duration_s, succeeds) per call
+        self._calls = 0
+
+    def invoke(self, request):
+        from repro.serverless import Invocation, InvocationFailedError
+
+        duration, ok = self._script[self._calls]
+        self._calls += 1
+        submitted = self.sim.now
+
+        def proc():
+            yield self.sim.timeout(duration)
+            if not ok:
+                raise InvocationFailedError(
+                    request.function, ran_for_s=duration, billed_usd=0.001
+                )
+            return Invocation(
+                request=request,
+                submitted_at=submitted,
+                started_at=submitted,
+                finished_at=self.sim.now,
+                cold_start=False,
+                memory_mb=1769.0,
+                billed_duration_s=duration,
+                cost=0.002,
+            )
+
+        return self.sim.spawn(proc())
+
+    def outage_clear_time(self, at):
+        return None
+
+
+class TestHedgeBothFinishRace:
+    """Primary and hedge completing in the same event batch must
+    attribute exactly one winner — never two bills, never a successful
+    loser counted as waste."""
+
+    def _race(self, sim, script, max_attempts=1):
+        results = []
+
+        def driver(sim):
+            results.append(
+                (
+                    yield invoke_hedged(
+                        _ScriptedPlatform(sim, script),
+                        InvocationRequest("f", 1.0),
+                        policy=RetryPolicy(
+                            max_attempts=max_attempts, base_delay_s=1.0
+                        ),
+                        hedge_after_s=5.0,
+                    )
+                )
+            )
+
+        sim.run(until=sim.spawn(driver(sim)))
+        (outcome,) = results
+        return outcome
+
+    def test_both_succeed_same_batch_primary_wins(self, sim):
+        # Primary runs 0→10; hedge starts at 5, runs 5→10: both lanes
+        # trigger in the same event batch at t=10.
+        outcome = self._race(sim, [(10.0, True), (5.0, True)])
+        assert sim.now == 10.0
+        assert outcome.hedged is True
+        # Lane order breaks the tie: the primary (submitted at t=0) is
+        # the one winner, and its bill is counted exactly once.
+        assert outcome.invocation.submitted_at == 0.0
+        assert outcome.invocation.cost == 0.002
+        assert outcome.total_cost == 0.002
+        # The abandoned-but-successful hedge is not "waste": its bill
+        # lands on the platform ledger, not on this outcome.
+        assert outcome.wasted_usd == 0.0
+
+    def test_primary_fails_in_same_batch_hedge_wins(self, sim):
+        # Primary fails at t=10; hedge (started at 5) succeeds at t=10
+        # in the same batch.  The hedge wins and the failed lane's bill
+        # is attributed as waste.
+        outcome = self._race(sim, [(10.0, False), (5.0, True)])
+        assert sim.now == 10.0
+        assert outcome.hedged is True
+        assert outcome.invocation.submitted_at == 5.0
+        assert outcome.wasted_usd == pytest.approx(0.001)
+        assert outcome.total_cost == pytest.approx(0.003)
+
+
 class TestDegradationPolicy:
     def test_validation(self):
         with pytest.raises(ValueError):

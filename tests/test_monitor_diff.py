@@ -1,0 +1,164 @@
+"""Tests for cross-run artifact diffing (``repro.monitor.diff``)."""
+
+import json
+import math
+
+import pytest
+
+from repro.monitor.diff import Profile, diff_files, diff_profiles, load_profile
+
+
+def _report_file(tmp_path, name, summary):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps({"version": 1, "summary": summary}), encoding="utf-8"
+    )
+    return path
+
+
+def _profile(metrics, kind="report", path="x"):
+    return Profile(kind=kind, path=path, metrics=dict(metrics))
+
+
+class TestLoadProfile:
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_profile(tmp_path / "nope.json")
+
+    def test_truncated_json_raises_decode_error(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"traceEvents": [', encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            load_profile(path)
+
+    def test_wrong_shape_raises_valueerror(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a trace or report"):
+            load_profile(path)
+        path2 = tmp_path / "other.json"
+        path2.write_text('{"hello": "world"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a trace or report"):
+            load_profile(path2)
+
+    def test_report_profile_keeps_numeric_summary_fields(self, tmp_path):
+        path = _report_file(
+            tmp_path, "r.json",
+            {"jobs_completed": 4, "mean_response_s": 12.5, "note": "text"},
+        )
+        profile = load_profile(path)
+        assert profile.kind == "report"
+        assert profile.metrics == {
+            "jobs_completed": 4.0, "mean_response_s": 12.5,
+        }
+
+    def test_trace_profile_from_golden_run(self, tmp_path):
+        from repro.telemetry.exporters import write_chrome_trace
+        from repro.testing.golden import run_monitored_scenario
+
+        result = run_monitored_scenario(with_faults=False)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, result["tracer"])
+        profile = load_profile(path)
+        assert profile.kind == "trace"
+        assert profile.metrics["jobs"] == 4.0
+        assert profile.metrics["makespan_total_s"] > 0.0
+        assert any(key.startswith("phase/") for key in profile.metrics)
+
+
+class TestDiffProfiles:
+    def test_identical_profiles_are_ok(self):
+        a = _profile({"mean_response_s": 10.0})
+        diff = diff_profiles(a, _profile({"mean_response_s": 10.0}))
+        assert diff.ok
+        assert diff.rows[0].delta == 0.0
+        assert diff.rows[0].relative == 0.0
+
+    def test_regression_above_threshold(self):
+        diff = diff_profiles(
+            _profile({"mean_response_s": 10.0}),
+            _profile({"mean_response_s": 11.0}),
+            threshold=0.05,
+        )
+        assert not diff.ok
+        assert diff.regressions[0].metric == "mean_response_s"
+        assert diff.regressions[0].relative == pytest.approx(0.1)
+
+    def test_improvement_is_not_a_regression(self):
+        diff = diff_profiles(
+            _profile({"mean_response_s": 10.0}),
+            _profile({"mean_response_s": 5.0}),
+        )
+        assert diff.ok
+
+    def test_jobs_completed_is_higher_is_better(self):
+        worse = diff_profiles(
+            _profile({"jobs_completed": 4.0}),
+            _profile({"jobs_completed": 3.0}),
+        )
+        assert not worse.ok
+        better = diff_profiles(
+            _profile({"jobs_completed": 3.0}),
+            _profile({"jobs_completed": 4.0}),
+        )
+        assert better.ok
+
+    def test_below_threshold_is_ok(self):
+        diff = diff_profiles(
+            _profile({"cost": 100.0}),
+            _profile({"cost": 104.0}),
+            threshold=0.05,
+        )
+        assert diff.ok
+
+    def test_abs_floor_masks_float_noise(self):
+        diff = diff_profiles(
+            _profile({"cost": 1e-12}),
+            _profile({"cost": 2e-12}),
+            threshold=0.05,
+        )
+        # Relative change is 100% but absolute change is under the floor.
+        assert diff.ok
+
+    def test_metric_only_in_after_compares_against_zero(self):
+        diff = diff_profiles(
+            _profile({}), _profile({"wasted_usd": 0.5})
+        )
+        row = diff.rows[0]
+        assert row.before == 0.0
+        assert math.isinf(row.relative)
+        assert row.regressed
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ValueError, match="cannot diff"):
+            diff_profiles(
+                _profile({}, kind="trace"), _profile({}, kind="report")
+            )
+
+    def test_rows_sorted_and_to_dict_canonical(self):
+        diff = diff_profiles(
+            _profile({"b": 1.0, "a": 2.0}),
+            _profile({"a": 2.0, "c": 3.0}),
+        )
+        assert [row.metric for row in diff.rows] == ["a", "b", "c"]
+        doc = diff.to_dict()
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert json.dumps(doc, sort_keys=True) == json.dumps(
+            diff.to_dict(), sort_keys=True
+        )
+
+
+class TestDiffFiles:
+    def test_end_to_end_report_diff(self, tmp_path):
+        before = _report_file(
+            tmp_path, "before.json",
+            {"jobs_completed": 4, "mean_response_s": 10.0},
+        )
+        after = _report_file(
+            tmp_path, "after.json",
+            {"jobs_completed": 4, "mean_response_s": 13.0},
+        )
+        diff = diff_files(before, after, threshold=0.1)
+        assert diff.kind == "report"
+        assert [row.metric for row in diff.regressions] == ["mean_response_s"]

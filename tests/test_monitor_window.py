@@ -1,0 +1,99 @@
+"""Tests for sliding-window aggregation."""
+
+import pytest
+
+from repro.monitor import WindowedSeries
+
+
+class TestValidation:
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(bucket_s=0.0)
+
+    def test_horizon_must_cover_a_bucket(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(bucket_s=10.0, horizon_s=5.0)
+
+    def test_bad_observation_time(self):
+        series = WindowedSeries()
+        with pytest.raises(ValueError):
+            series.observe(-1.0)
+
+    def test_bad_window(self):
+        series = WindowedSeries()
+        with pytest.raises(ValueError):
+            series.aggregate(10.0, 0.0)
+
+
+class TestAggregate:
+    def test_counts_and_error_ratio(self):
+        series = WindowedSeries(bucket_s=10.0)
+        series.observe(1.0, bad=True)
+        series.observe(2.0)
+        series.observe(3.0)
+        agg = series.aggregate(now=5.0, window_s=10.0)
+        assert agg.count == 3
+        assert agg.bad == 1
+        assert agg.error_ratio == pytest.approx(1 / 3)
+        assert agg.rate_per_s == pytest.approx(0.3)
+
+    def test_window_excludes_old_buckets(self):
+        series = WindowedSeries(bucket_s=10.0)
+        series.observe(5.0, value=1.0)
+        series.observe(95.0, value=3.0)
+        agg = series.aggregate(now=100.0, window_s=30.0)
+        assert agg.count == 1
+        assert agg.mean == 3.0
+
+    def test_window_is_bucket_aligned(self):
+        # The oldest included bucket is the one containing now-window:
+        # coverage is at least window_s, at most one extra bucket.
+        series = WindowedSeries(bucket_s=10.0)
+        series.observe(12.0)  # bucket [10, 20)
+        agg = series.aggregate(now=75.0, window_s=60.0)  # covers from 15.0
+        assert agg.count == 1  # bucket 10-20 intersects (15, 75]
+
+    def test_mean_and_quantiles_only_from_valued_events(self):
+        series = WindowedSeries()
+        series.observe(1.0)  # no value
+        series.observe(2.0, value=4.0)
+        agg = series.aggregate(10.0, 60.0)
+        assert agg.count == 2
+        assert agg.mean == 4.0
+        assert agg.quantile(0.5) == pytest.approx(4.0, rel=0.03)
+
+    def test_empty_window(self):
+        series = WindowedSeries()
+        agg = series.aggregate(1000.0, 10.0)
+        assert agg.count == 0
+        assert agg.error_ratio == 0.0
+        assert agg.mean == 0.0
+        assert agg.quantile(0.5) is None
+
+    def test_extras_sum_and_max(self):
+        series = WindowedSeries(bucket_s=10.0)
+        series.observe(1.0, extras={"bytes": 100.0}, extras_max={"depth": 2.0})
+        series.observe(2.0, extras={"bytes": 50.0}, extras_max={"depth": 5.0})
+        series.observe(15.0, extras={"bytes": 7.0}, extras_max={"depth": 1.0})
+        agg = series.aggregate(20.0, 30.0)
+        assert agg.extra("bytes") == 157.0
+        assert agg.extra_max("depth") == 5.0
+        assert agg.extra("missing") == 0.0
+        assert agg.extra_max("missing", default=-1.0) == -1.0
+
+
+class TestPruning:
+    def test_old_buckets_are_pruned(self):
+        series = WindowedSeries(bucket_s=10.0, horizon_s=100.0)
+        for t in range(0, 1000, 10):
+            series.observe(float(t))
+        # Memory bounded by horizon: ~horizon/bucket (+ slack) buckets.
+        assert len(series._buckets) <= int(100.0 / 10.0) + 2
+        assert series.total_count == 100  # lifetime count survives pruning
+
+    def test_recent_window_unaffected_by_pruning(self):
+        series = WindowedSeries(bucket_s=10.0, horizon_s=100.0)
+        for t in range(0, 500, 10):
+            series.observe(float(t), value=1.0)
+        agg = series.aggregate(now=495.0, window_s=50.0)
+        assert agg.count == 6  # buckets 440..490 (bucket-aligned window)

@@ -1,0 +1,211 @@
+"""Tests for the observed-signal demand path (oracle-free estimation)."""
+
+import pytest
+
+from repro.apps import Job, photo_backup_app
+from repro.core.controller import Environment, OffloadController
+from repro.core.demand import DemandModel
+from repro.metrics import stable_digest
+from repro.monitor import ObservedDemandFeed, attach_monitor
+from repro.monitor.monitor import ObservedExecution
+from repro.monitor.observed import observations_from_history
+from repro.profiling.profiler import DemandObservation
+from repro.serverless.function import FunctionSpec
+from repro.telemetry import attach_tracer
+
+
+class TestWorkForDuration:
+    @pytest.mark.parametrize("memory_mb", [128.0, 1024.0, 1769.0, 3008.0])
+    @pytest.mark.parametrize("parallel_fraction", [0.0, 0.5, 0.9])
+    def test_exact_inverse_of_duration_for(self, memory_mb, parallel_fraction):
+        spec = FunctionSpec(
+            "f", memory_mb=memory_mb, parallel_fraction=parallel_fraction
+        )
+        for work in (0.5, 10.0, 400.0):
+            duration = spec.duration_for(work)
+            assert spec.work_for_duration(duration) == pytest.approx(
+                work, rel=1e-9
+            )
+
+    def test_zero_duration_is_zero_work(self):
+        assert FunctionSpec("f").work_for_duration(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("f").work_for_duration(-1.0)
+
+
+class TestIngestHistory:
+    def _model(self):
+        return DemandModel(photo_backup_app())
+
+    def test_known_components_are_ingested(self):
+        model = self._model()
+        component = model.app.component_names[0]
+        n = model.ingest_history(
+            [DemandObservation(component, 3.0, 10.0, at_time=1.0)]
+        )
+        assert n == 1
+        assert model.estimators[component].observation_count == 1
+
+    def test_unknown_components_are_skipped(self):
+        model = self._model()
+        component = model.app.component_names[0]
+        n = model.ingest_history(
+            [
+                DemandObservation("not-a-component", 3.0, 10.0),
+                DemandObservation(component, 3.0, 10.0),
+            ]
+        )
+        assert n == 1
+
+    def test_strict_mode_raises_on_unknown(self):
+        with pytest.raises(KeyError, match="not-a-component"):
+            self._model().ingest_history(
+                [DemandObservation("not-a-component", 3.0, 10.0)],
+                strict=True,
+            )
+
+
+class _SpecPlatform:
+    """Stub platform: every function shares one deployed spec shape."""
+
+    def __init__(self, memory_mb=1024.0):
+        self.memory_mb = memory_mb
+
+    def spec(self, name):
+        return FunctionSpec(name, memory_mb=self.memory_mb)
+
+
+def _execution(function, duration_s, at=10.0, memory_mb=1024.0, cold=False):
+    return ObservedExecution(
+        function=function, at=at, duration_s=duration_s,
+        memory_mb=memory_mb, cold=cold,
+    )
+
+
+class TestObservationsFromHistory:
+    def setup_method(self):
+        self.app = photo_backup_app()
+        self.component = self.app.component_names[0]
+        self.function = f"{self.app.name}.{self.component}"
+        self.platform = _SpecPlatform()
+
+    def test_duration_inverts_to_gigacycles(self):
+        spec = self.platform.spec(self.function)
+        duration = spec.duration_for(25.0)
+        rows = observations_from_history(
+            [_execution(self.function, duration)],
+            self.platform, self.app, input_mb=3.0,
+        )
+        assert len(rows) == 1
+        assert rows[0].component == self.component
+        assert rows[0].input_mb == 3.0
+        assert rows[0].at_time == 10.0
+        assert rows[0].measured_gcycles == pytest.approx(25.0, rel=1e-9)
+
+    def test_other_apps_functions_are_skipped(self):
+        rows = observations_from_history(
+            [
+                _execution("other_app.resize", 1.0),
+                _execution(f"{self.app.name}.not-a-component", 1.0),
+                _execution(self.function, 1.0),
+            ],
+            self.platform, self.app, input_mb=3.0,
+        )
+        assert [row.component for row in rows] == [self.component]
+
+    def test_function_prefix_is_honoured(self):
+        rows = observations_from_history(
+            [_execution(f"v2-{self.function}", 1.0)],
+            self.platform, self.app, input_mb=3.0, function_prefix="v2-",
+        )
+        assert len(rows) == 1
+        assert observations_from_history(
+            [_execution(self.function, 1.0)],
+            self.platform, self.app, input_mb=3.0, function_prefix="v2-",
+        ) == []
+
+    def test_observed_memory_overrides_deployed_spec(self):
+        # The record ran at a different memory size than the deployed
+        # spec; inversion must use the observed size.
+        spec = self.platform.spec(self.function).with_memory(2048.0)
+        duration = spec.duration_for(25.0)
+        rows = observations_from_history(
+            [_execution(self.function, duration, memory_mb=2048.0)],
+            self.platform, self.app, input_mb=3.0,
+        )
+        assert rows[0].measured_gcycles == pytest.approx(25.0, rel=1e-9)
+
+
+class _HistoryMonitor:
+    def __init__(self):
+        self.executions = []
+
+
+class TestObservedDemandFeed:
+    def test_pump_ingests_each_record_exactly_once(self):
+        app = photo_backup_app()
+        component = app.component_names[0]
+        function = f"{app.name}.{component}"
+        monitor = _HistoryMonitor()
+        feed = ObservedDemandFeed(monitor, _SpecPlatform(), app, input_mb=3.0)
+        model = DemandModel(app)
+
+        monitor.executions.append(_execution(function, 1.0))
+        assert len(feed.pump(model)) == 1
+        assert model.estimators[component].observation_count == 1
+
+        # No new history: nothing pumped, nothing double-ingested.
+        assert feed.pump(model) == []
+        assert model.estimators[component].observation_count == 1
+
+        monitor.executions.append(_execution(function, 2.0, at=20.0))
+        fresh = feed.pump(model)
+        assert [row.at_time for row in fresh] == [20.0]
+        assert model.estimators[component].observation_count == 2
+
+
+class TestControllerObservedMode:
+    SEED = 4242
+
+    def _run(self):
+        env = Environment.build_custom(
+            seed=self.SEED, uplink_bandwidth=2.0e6, access_latency_s=0.030
+        )
+        attach_tracer(env)
+        monitor = attach_monitor(env)
+        controller = OffloadController(
+            env,
+            photo_backup_app(),
+            adaptive=True,
+            replan_every=2,
+            observed_signals=True,
+            monitor=monitor,
+        )
+        error_blind = controller.demand.mean_relative_error(3.0)
+        controller.profile_offline()  # must stay a no-op without an oracle
+        assert controller.demand.mean_relative_error(3.0) == error_blind
+        controller.plan(input_mb=3.0)
+        jobs = [
+            Job(controller.app, input_mb=3.0, released_at=60.0 * i,
+                deadline=60.0 * i + 3600.0, job_id=8000 + i)
+            for i in range(6)
+        ]
+        report = controller.run_workload(jobs)
+        return {
+            "completed": report.jobs_completed,
+            "failures": len(report.failures),
+            "error_blind": error_blind,
+            "error_after": controller.demand.mean_relative_error(3.0),
+            "digest": stable_digest(env.metrics.snapshot()),
+        }
+
+    def test_learns_in_flight_and_is_deterministic(self):
+        first = self._run()
+        assert first["completed"] == 6
+        assert first["failures"] == 0
+        # The unprofiled prior is badly wrong; monitored history fixes it.
+        assert first["error_blind"] > 0.5
+        assert first["error_after"] < 0.25
+        assert self._run()["digest"] == first["digest"]

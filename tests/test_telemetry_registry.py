@@ -82,14 +82,61 @@ class TestPrometheus:
         assert "jobs_total 1.0" in out
         assert "jobs_total_total" not in out
 
-    def test_lines_sorted_with_trailing_newline(self):
+    def test_families_sorted_with_trailing_newline(self):
         reg = LabeledMetricsRegistry()
         reg.gauge("z").set(1.0)
         reg.counter("a").increment()
         out = reg.to_prometheus()
         assert out.endswith("\n")
-        lines = out.strip().split("\n")
-        assert lines == sorted(lines)
+        samples = [
+            line for line in out.strip().split("\n")
+            if not line.startswith("#")
+        ]
+        assert samples == ["a_total 1.0", "z 1.0"]
+
+    def test_help_and_type_precede_each_family(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter("jobs", app="photo").increment()
+        reg.gauge("battery").set(0.5)
+        reg.summary("lat").observe(1.0)
+        lines = reg.to_prometheus().strip().split("\n")
+        for name, kind in [
+            ("battery", "gauge"), ("jobs_total", "counter"),
+            ("lat", "summary"),
+        ]:
+            type_line = f"# TYPE {name} {kind}"
+            assert type_line in lines
+            help_index = lines.index(f"# HELP {name} Simulated metric {name}.")
+            assert lines[help_index + 1] == type_line
+            assert not lines[help_index + 2].startswith("#")
+
+    def test_summary_family_groups_quantiles_count_sum(self):
+        reg = LabeledMetricsRegistry()
+        reg.summary("lat", tier="cloud").observe_many([1.0, 3.0])
+        out = reg.to_prometheus()
+        type_lines = [l for l in out.split("\n") if l.startswith("# TYPE")]
+        assert type_lines == ["# TYPE lat summary"]
+        assert 'lat_count{tier="cloud"} 2' in out
+        assert 'lat_sum{tier="cloud"} 4.0' in out
+        assert 'lat{quantile="0.5",tier="cloud"}' not in out  # labels first
+        assert 'lat{tier="cloud",quantile="0.5"} 2.0' in out
+
+    def test_hostile_label_values_are_escaped(self):
+        reg = LabeledMetricsRegistry()
+        reg.counter(
+            "jobs", app='evil"name', path="C:\\tmp", note="line1\nline2"
+        ).increment()
+        out = reg.to_prometheus()
+        assert out.count("\n") == len(out.strip().split("\n"))  # no stray \n
+        assert 'app="evil\\"name"' in out
+        assert 'path="C:\\\\tmp"' in out
+        assert 'note="line1\\nline2"' in out
+        # The sample line stays a single parseable line.
+        sample = [
+            line for line in out.strip().split("\n")
+            if not line.startswith("#")
+        ]
+        assert len(sample) == 1 and sample[0].endswith(" 1.0")
 
     def test_empty_registry_renders_empty(self):
         assert LabeledMetricsRegistry().to_prometheus() == ""

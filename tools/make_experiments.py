@@ -90,6 +90,7 @@ def build_sections():
     from bench_a7_dvfs import figure_a7, run_a7
     from bench_a8_makespan import run_a8
     from bench_a9_safety_factor import run_a9
+    from bench_a10_observed_signals import run_a10
     from bench_r1_chaos import run_r1
     from bench_o1_overhead import run_o1
 
@@ -370,6 +371,23 @@ def build_sections():
             "safe under ±35% demand noise at the price of dispatching "
             "~40% earlier (less slack harvested).  The 1.5 default "
             "balances the two.",
+        ),
+        (
+            "A10", "Ablation: oracle profiling vs observed-signal demand",
+            "The controller should not need the simulator's oracle: "
+            "demand learned from measured execution durations (inverted "
+            "through the billing-tier duration model) and link rates from "
+            "monitored goodput must converge to the oracle's plan "
+            "quality in-flight.",
+            single(run_a10),
+            "**Verdict ✅** — the observed-signal mode plans blind "
+            "(451% demand error from the unprofiled prior, "
+            "`profile_offline` a no-op by contract) and converges to "
+            "1.3% after ten jobs of monitored history — the oracle's "
+            "neighbourhood (0.7%) without ever reading a true "
+            "coefficient — while completing the identical workload at "
+            "identical cloud spend and energy.  The monitored, adaptive "
+            "run replays bit-identically.",
         ),
         (
             "R1", "Resilience: chaos campaigns vs graceful degradation",

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Monitoring-plane smoke check (CI gate).
+
+Runs the pinned golden scenario twice under the monitoring plane:
+
+* **fault-free** — the alert log must be empty (a quiet system must
+  not page);
+* **chaos** — the golden fault schedule plus an uplink outage; the
+  link-outage and cold-start-spike SLOs must both fire.
+
+Also asserts the alert log is byte-identical across repeated chaos
+runs (the determinism contract), then writes the chaos run's full
+alert report as JSON for artifact upload.  Exits non-zero on any
+violated expectation.
+
+Usage::
+
+    PYTHONPATH=src python tools/monitor_smoke.py [report.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.testing.golden import run_monitored_scenario  # noqa: E402
+
+#: SLOs the chaos run must fire to prove the detectors work.
+EXPECTED_CHAOS_SLOS = ("cold-start-spike", "link-outage")
+
+
+def main(argv: list) -> int:
+    out_path = Path(argv[0]) if argv else Path("/tmp/alert_report.json")
+    failures = []
+
+    quiet = run_monitored_scenario(with_faults=False)
+    if quiet["alert_log"] != "":
+        failures.append(
+            f"fault-free run fired alerts:\n{quiet['alert_log']}"
+        )
+    print(
+        f"fault-free: jobs={quiet['jobs_completed']} "
+        f"alerts={len(quiet['fired_slos'])} (want 0)"
+    )
+
+    chaos = run_monitored_scenario(with_faults=True)
+    for slo in EXPECTED_CHAOS_SLOS:
+        if slo not in chaos["fired_slos"]:
+            failures.append(
+                f"chaos run did not fire {slo!r}; "
+                f"fired={chaos['fired_slos']}"
+            )
+    print(
+        f"chaos: jobs={chaos['jobs_completed']} "
+        f"fired={sorted(chaos['fired_slos'])}"
+    )
+
+    rerun = run_monitored_scenario(with_faults=True)
+    if rerun["alert_log"] != chaos["alert_log"]:
+        failures.append("chaos alert log is not byte-identical across runs")
+
+    report = chaos["plane"].engine.report(chaos["sim_end_s"])
+    out_path.write_text(
+        json.dumps(report, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    print(f"alert report written to {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("monitor smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
