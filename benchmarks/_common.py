@@ -124,6 +124,41 @@ def sweep_rows(cell, configs, *, workers=None, cache_dir=None):
     return result.results_for(configs)
 
 
+def timed_rows(cases, *, repeats=5, warmup=True):
+    """Wall-time a set of benchmark configurations, noise-resistantly.
+
+    ``cases`` is an ordered mapping of ``name -> thunk``.  Each thunk is
+    either timed around its full call (monotonic clock) or, when it
+    returns a float, that value is taken as the sample — letting a bench
+    time only its measured region and exclude setup.
+
+    Rounds are interleaved (case A, case B, ..., repeat) so slow drift in
+    the host machine hits every configuration equally, and each case is
+    scored by its *minimum* over the repeats — the best observed time is
+    the least noise-contaminated estimate of the true cost.  Returns
+    ``{name: best_seconds}`` in the input order.
+
+    O1 (tracer overhead) and O2 (kernel throughput) both build on this
+    instead of hand-rolling timing loops.
+    """
+    from time import perf_counter
+
+    cases = dict(cases)
+    if warmup:
+        for thunk in cases.values():  # JIT caches, allocator, branch
+            thunk()
+    samples = {name: [] for name in cases}
+    for _ in range(repeats):
+        for name, thunk in cases.items():
+            started = perf_counter()
+            result = thunk()
+            elapsed = perf_counter() - started
+            samples[name].append(
+                result if isinstance(result, float) else elapsed
+            )
+    return {name: min(values) for name, values in samples.items()}
+
+
 def write_bench_summary(name: str, payload: dict) -> None:
     """Write ``BENCH_<name>.json`` when ``REPRO_BENCH_JSON`` is set.
 

@@ -30,7 +30,7 @@ from repro.sim import Simulator
 from repro.telemetry import attach_tracer
 from repro.telemetry.tracer import PHASE_EXECUTE
 
-from _common import emit, write_bench_summary
+from _common import emit, timed_rows, write_bench_summary
 
 N_EVENTS = 200_000
 REPEATS = 5
@@ -98,14 +98,18 @@ def _run_once(config: str, n: int = N_EVENTS) -> float:
 
 
 def measure() -> dict:
-    """Min-of-REPEATS wall time per configuration, rounds interleaved."""
-    for config in CONFIGS:  # warmup sweep: JIT caches, allocator, branch
+    """Min-of-REPEATS wall time per configuration, rounds interleaved.
+
+    Each case thunk returns its own measured seconds (the timed region
+    excludes simulator setup), which :func:`timed_rows` uses directly.
+    """
+    for config in CONFIGS:  # cheap warmup sweep at a tenth of the size
         _run_once(config, n=N_EVENTS // 10)
-    times = {config: [] for config in CONFIGS}
-    for _ in range(REPEATS):
-        for config in CONFIGS:
-            times[config].append(_run_once(config))
-    return {config: min(samples) for config, samples in times.items()}
+    return timed_rows(
+        {config: (lambda c=config: _run_once(c)) for config in CONFIGS},
+        repeats=REPEATS,
+        warmup=False,
+    )
 
 
 def run_o1() -> Table:

@@ -379,6 +379,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.profiling.hotspots import profile_scenario
+
+    try:
+        config = json.loads(args.config) if args.config else {}
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"--config must be valid JSON: {error}")
+    if not isinstance(config, dict):
+        raise SystemExit("--config must be a JSON object")
+    try:
+        result = profile_scenario(args.scenario, config, top=args.top)
+    except (ValueError, TypeError, ModuleNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print(f"\n{result.total_calls} calls ({result.total_prim_calls} "
+          f"primitive) in {result.wall_s:.3f} s — row order is "
+          "call-count-ranked and reproducible; times are wall-clock.")
+    if args.out:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            _json.dumps(result.to_dict(), sort_keys=True, indent=2,
+                        default=str) + "\n"
+        )
+        print(f"profile written to {args.out}")
+    return 0
+
+
 def cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.cicd import SourceRepository
     from repro.core.pipeline import OffloadPipeline, PipelineConfig
@@ -473,6 +505,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(analyze)
 
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile a scenario; deterministic call-count-ranked top-N",
+    )
+    profile.add_argument(
+        "--scenario", default="offload_run",
+        help="built-in scenario name or importable 'module:function' "
+             "taking one config dict (default: offload_run)",
+    )
+    profile.add_argument(
+        "--config", default=None,
+        help='JSON config for the scenario, e.g. \'{"jobs": 20}\'',
+    )
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the hot-function table (default 15)")
+    profile.add_argument("--out", default=None,
+                         help="also write the full profile as JSON here")
+
     sweep = sub.add_parser(
         "sweep", help="fan a scenario grid out across worker processes"
     )
@@ -515,6 +565,7 @@ COMMANDS = {
     "list-apps": cmd_list_apps,
     "list-profiles": cmd_list_profiles,
     "plan": cmd_plan,
+    "profile": cmd_profile,
     "report": cmd_report,
     "run": cmd_run,
     "pipeline": cmd_pipeline,

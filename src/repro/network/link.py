@@ -80,7 +80,7 @@ class Link:
         if per_request_overhead_bytes < 0:
             raise ValueError("per-request overhead must be >= 0")
         self.sim = sim
-        self.trace: BandwidthTrace = (
+        self.trace = (
             bandwidth
             if isinstance(bandwidth, BandwidthTrace)
             else ConstantBandwidth(float(bandwidth))
@@ -90,6 +90,23 @@ class Link:
         self.name = name
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self._channels = Resource(sim, capacity=channels)
+
+    @property
+    def trace(self) -> BandwidthTrace:
+        """The bandwidth signal; assigning one refreshes the fast path."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace: BandwidthTrace) -> None:
+        self._trace = trace
+        # Constant-rate links (the overwhelmingly common case: every
+        # connectivity preset and sweep axis) skip the piecewise
+        # integration in ``transfer_time`` — one division instead of a
+        # regime-crossing loop plus two virtual calls per transfer.  The
+        # isinstance check runs once per assignment, not per transfer.
+        self._const_rate = (
+            trace.rate_bps if type(trace) is ConstantBandwidth else None
+        )
 
     @property
     def queue_length(self) -> int:
@@ -117,7 +134,13 @@ class Link:
         """
         start = self.sim.now if at is None else at
         payload = nbytes + self.per_request_overhead_bytes
-        return self.latency_s + self.trace.transfer_time(start, payload)
+        rate = self._const_rate
+        if rate is not None and payload > 0:
+            # Bit-identical to ConstantBandwidth.transfer_time's
+            # ``(start + needed) - start`` — the round-trip through the
+            # start time is kept so existing golden traces replay exactly.
+            return self.latency_s + ((start + payload / rate) - start)
+        return self.latency_s + self._trace.transfer_time(start, payload)
 
     def transfer(self, nbytes: float) -> Event:
         """Start moving ``nbytes`` across the link.
@@ -138,7 +161,14 @@ class Link:
         yield request
         try:
             payload = nbytes + self.per_request_overhead_bytes
-            serialisation = self.trace.transfer_time(self.sim.now, payload)
+            rate = self._const_rate
+            if rate is not None and payload > 0:
+                # Same float round-trip as ConstantBandwidth.transfer_time
+                # so transfer durations stay byte-identical in traces.
+                now = self.sim.now
+                serialisation = (now + payload / rate) - now
+            else:
+                serialisation = self._trace.transfer_time(self.sim.now, payload)
             active = serialisation + self.latency_s
             yield self.sim.timeout(active)
         finally:

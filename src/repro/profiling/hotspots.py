@@ -1,0 +1,177 @@
+"""Deterministic hot-function profiling for simulator scenarios.
+
+``repro profile`` answers "where do the cycles go?" for any sweep
+scenario without leaving the CLI.  The catch with stock ``cProfile``
+output is that sorting by time makes the row *order* jitter between
+reruns — two functions microseconds apart swap places and a diff lights
+up.  Scenarios are deterministic in their config, so their *call counts*
+are exactly reproducible; this module therefore ranks by total call
+count (ties broken by primitive calls, then name), which makes the
+top-N table byte-stable across reruns while still carrying the measured
+``tottime``/``cumtime`` columns as context.
+
+The profiled region is only ``scenario(config)`` — import and
+environment construction happen before the profiler is enabled.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.metrics import Table
+from repro.sweep.spec import resolve_scenario, scenario_ref
+
+#: Shorthand scenario names resolve against the built-in scenario module.
+DEFAULT_SCENARIO_MODULE = "repro.sweep.scenarios"
+
+
+def expand_scenario_ref(name: str) -> str:
+    """Allow bare names (``offload_run``) for the built-in scenarios."""
+    return name if ":" in name else f"{DEFAULT_SCENARIO_MODULE}:{name}"
+
+
+def _short_site(filename: str, lineno: int, funcname: str) -> str:
+    """A stable, machine-independent label for one profiled function.
+
+    Absolute paths differ between checkouts; everything from the last
+    ``repro`` path component on is identical, so the label keeps that
+    suffix (or the basename for code outside the package).  C builtins
+    profile with filename ``~`` and keep just their function name.
+    """
+    if filename in ("~", ""):
+        return funcname
+    parts = filename.replace("\\", "/").split("/")
+    if "repro" in parts:
+        tail = "/".join(parts[len(parts) - parts[::-1].index("repro") - 1:])
+    else:
+        tail = parts[-1]
+    return f"{tail}:{lineno}:{funcname}"
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of the hot-function table."""
+
+    site: str
+    ncalls: int
+    primcalls: int
+    tottime_s: float
+    cumtime_s: float
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Everything one profiled scenario run produced."""
+
+    scenario: str
+    config: Dict[str, Any]
+    top: Tuple[HotSpot, ...]
+    total_calls: int
+    total_prim_calls: int
+    wall_s: float
+    value: Any  # the scenario's own return value
+
+    def render(self) -> Table:
+        table = Table(
+            ["calls", "prim", "tottime s", "cumtime s", "function"],
+            title=f"Hot functions — {self.scenario} "
+                  f"({self.total_calls} calls, {self.wall_s:.3f} s)",
+            precision=4,
+        )
+        for row in self.top:
+            table.add_row(
+                row.ncalls, row.primcalls, row.tottime_s, row.cumtime_s,
+                row.site,
+            )
+        return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON shape; call counts and row order are reproducible, the
+        two time columns and ``wall_s`` are wall-clock noise."""
+        return {
+            "scenario": self.scenario,
+            "config": self.config,
+            "total_calls": self.total_calls,
+            "total_prim_calls": self.total_prim_calls,
+            "wall_s": self.wall_s,
+            "top": [
+                {
+                    "site": row.site,
+                    "ncalls": row.ncalls,
+                    "primcalls": row.primcalls,
+                    "tottime_s": row.tottime_s,
+                    "cumtime_s": row.cumtime_s,
+                }
+                for row in self.top
+            ],
+        }
+
+
+def profile_scenario(
+    scenario: str,
+    config: Optional[Dict[str, Any]] = None,
+    top: int = 15,
+    warmup: bool = True,
+) -> ProfileResult:
+    """Run ``scenario(config)`` under cProfile; return the stable top-N.
+
+    ``scenario`` is a ``module:function`` reference or a bare built-in
+    scenario name.  Rows are ranked by (total calls desc, primitive
+    calls desc, site name) — fully determined by the scenario's config,
+    so two runs of the same config produce identically ordered tables.
+
+    ``warmup`` runs the scenario once *before* the profiler is enabled.
+    A cold first run profiles lazy imports and one-time cache fills that
+    never recur; the warm run is both the steady-state cost picture and
+    the thing that is reproducible whether or not the scenario has run
+    earlier in the same process.
+    """
+    ref = expand_scenario_ref(scenario)
+    fn = resolve_scenario(ref)
+    config = dict(config or {})
+    if warmup:
+        fn(dict(config))
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    value = fn(config)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    total_calls = 0
+    total_prim = 0
+    for (filename, lineno, funcname), entry in stats.stats.items():
+        primcalls, ncalls, tottime, cumtime = entry[:4]
+        total_calls += ncalls
+        total_prim += primcalls
+        rows.append(
+            HotSpot(
+                site=_short_site(filename, lineno, funcname),
+                ncalls=ncalls,
+                primcalls=primcalls,
+                tottime_s=tottime,
+                cumtime_s=cumtime,
+            )
+        )
+    rows.sort(key=lambda r: (-r.ncalls, -r.primcalls, r.site))
+    return ProfileResult(
+        scenario=scenario_ref(ref),
+        config=config,
+        top=tuple(rows[:top]),
+        total_calls=total_calls,
+        total_prim_calls=total_prim,
+        wall_s=getattr(stats, "total_tt", 0.0),
+        value=value,
+    )
+
+
+__all__ = [
+    "HotSpot",
+    "ProfileResult",
+    "expand_scenario_ref",
+    "profile_scenario",
+]

@@ -138,6 +138,8 @@ class _Instance:
 class _FunctionState:
     """Mutable per-function runtime state."""
 
+    __slots__ = ("spec", "instances", "queue", "cost", "prewarm_gb_s_accrued")
+
     def __init__(self, spec: FunctionSpec) -> None:
         self.spec = spec
         self.instances: List[_Instance] = []
@@ -150,19 +152,28 @@ class _FunctionState:
         """Collect expired instances, then return a warm idle one if any.
 
         Pinned (pre-warmed) sandboxes are exempt from expiry and are
-        preferred, since their capacity is already paid for.
+        preferred, since their capacity is already paid for.  This sits on
+        every invocation's grant path, so the steady state (nothing
+        expired — warm traffic keeps sandboxes alive) must not rebuild
+        the instance list; the second pass runs only after an expiry.
         """
-        survivors: List[_Instance] = []
         warm: Optional[_Instance] = None
+        expired = False
         for inst in self.instances:
-            if not inst.pinned and not inst.busy and (
-                now - inst.idle_since >= keep_alive_s
-            ):
-                continue  # expired
-            survivors.append(inst)
-            if not inst.busy and (warm is None or (inst.pinned and not warm.pinned)):
-                warm = inst
-        self.instances = survivors
+            if not inst.busy:
+                if not inst.pinned and now - inst.idle_since >= keep_alive_s:
+                    expired = True
+                    continue
+                if warm is None or (inst.pinned and not warm.pinned):
+                    warm = inst
+        if expired:
+            self.instances = [
+                inst
+                for inst in self.instances
+                if inst.busy
+                or inst.pinned
+                or now - inst.idle_since < keep_alive_s
+            ]
         return warm
 
     def pinned_gb_seconds(self, now: float) -> float:
@@ -280,13 +291,14 @@ class ServerlessPlatform:
     def _invoke_proc(
         self, state: _FunctionState, request: InvocationRequest
     ) -> Generator[Event, object, Invocation]:
-        submitted_at = self.sim.now
+        sim = self.sim  # hoisted: this generator is the platform's hot path
+        submitted_at = sim.now
         spec = state.spec
         limit = spec.concurrency_limit or self.config.default_concurrency
-        tracer = self.sim.tracer
+        tracer = sim.tracer
         trace_parent = request.trace_parent
 
-        if self.faults is not None and self.faults.outage_active(self.sim.now):
+        if self.faults is not None and self.faults.outage_active(submitted_at):
             # The zone is dark: the control plane rejects immediately.
             self.metrics.counter(f"{self.name}.outage_rejections").increment()
             tracer.instant(
@@ -294,13 +306,13 @@ class ServerlessPlatform:
             )
             raise PlatformOutageError(request.function)
 
-        instance = state.idle_instance(self.sim.now, self.config.keep_alive_s)
+        instance = state.idle_instance(sim.now, self.config.keep_alive_s)
         cold = False
         if instance is not None:
             instance.busy = True
         elif len(state.instances) < limit:
             cold = True
-            instance = _Instance(self.sim.now)
+            instance = _Instance(sim.now)
             state.instances.append(instance)
             cold_span = tracer.start_span(
                 request.function,
@@ -308,7 +320,7 @@ class ServerlessPlatform:
                 parent=trace_parent,
                 package_mb=spec.package_mb,
             )
-            yield self.sim.timeout(self.config.cold_start_duration(spec))
+            yield sim.timeout(self.config.cold_start_duration(spec))
             tracer.end_span(cold_span)
         else:
             max_queue = self.config.max_queue_per_function
@@ -327,7 +339,7 @@ class ServerlessPlatform:
             instance = yield ticket
             tracer.end_span(queue_span)
 
-        started_at = self.sim.now
+        started_at = sim.now
         duration = spec.duration_for(request.work_gcycles)
         exec_span = tracer.start_span(
             request.function,
@@ -359,7 +371,7 @@ class ServerlessPlatform:
             # The attempt dies partway through; the partial runtime bills,
             # the sandbox survives and is handed back to the pool.
             ran_for = duration * self.rng.uniform(0.05, 0.95)
-            yield self.sim.timeout(ran_for)
+            yield sim.timeout(ran_for)
             self._release_instance(state, instance)
             partial = self.config.billing.invocation_cost(
                 ran_for, spec.memory_mb
@@ -380,7 +392,7 @@ class ServerlessPlatform:
                 # The sandbox is reclaimed mid-run: partial runtime bills,
                 # but the sandbox is destroyed, not returned to the pool.
                 ran_for = reclaim_at - started_at
-                yield self.sim.timeout(ran_for)
+                yield sim.timeout(ran_for)
                 self._reclaim_instance(state, instance, limit)
                 partial = self.config.billing.invocation_cost(
                     ran_for, spec.memory_mb
@@ -400,8 +412,8 @@ class ServerlessPlatform:
                     request.function, ran_for, partial.total
                 )
 
-        yield self.sim.timeout(duration)
-        finished_at = self.sim.now
+        yield sim.timeout(duration)
+        finished_at = sim.now
         self._release_instance(state, instance)
         tracer.end_span(exec_span)
 

@@ -84,24 +84,33 @@ class Event:
 
     # -- triggering --------------------------------------------------------
 
-    def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully, delivering ``value`` to waiters."""
+    def _trigger(self, ok: bool, value: Any) -> None:
+        """Record the one-shot outcome.
+
+        The single source of ``triggered`` semantics: ``succeed``,
+        ``fail`` and the kernel's ``call_at`` all route through here, so
+        the pending check and state transition can never drift apart.
+        """
         if self._value is not _PENDING:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
-        self._ok = True
+        self._ok = ok
         self._value = value
-        self.sim._enqueue_triggered(self)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(True, value)
+        # Append to the immediate fast lane directly: triggering can only
+        # happen once (``_trigger`` guards), so the kernel-side
+        # ``_scheduled`` bookkeeping is unnecessary on this path.
+        self.sim._fast.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed; waiters will see ``exception`` raised."""
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self._value is not _PENDING:
-            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
-        self._ok = False
-        self._value = exception
-        self.sim._enqueue_triggered(self)
+        self._trigger(False, exception)
+        self.sim._fast.append(self)
         return self
 
     # -- kernel hooks -------------------------------------------------------
@@ -128,8 +137,7 @@ class Timeout(Event):
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
         super().__init__(sim)
         self.delay = delay
-        self._ok = True
-        self._value = value
+        self._trigger(True, value)
         sim._enqueue_at(sim.now + delay, self)
 
 

@@ -1,9 +1,24 @@
 """The discrete-event simulation kernel: clock, event heap, processes.
 
-The :class:`Simulator` owns a binary heap of ``(time, sequence, event)``
-entries.  ``sequence`` is a monotonically increasing tie-breaker, which makes
-same-timestamp ordering deterministic (insertion order) — a property the
-reproduction relies on so every benchmark regenerates identically.
+The :class:`Simulator` owns two pending-event structures:
+
+* an **immediate fast lane** — a FIFO deque of items scheduled at exactly
+  the current time.  Triggered events (``succeed``/``fail``), process
+  bootstraps, interrupts and zero-delay timeouts all land here, which is
+  the dominant case in offloading workloads; the deque avoids the heap's
+  tuple allocation and sift cost entirely.
+* a binary heap of ``[time, sequence, event]`` entries for future events.
+  ``sequence`` is a monotonically increasing tie-breaker, which makes
+  same-timestamp ordering deterministic (insertion order).
+
+The two structures together preserve the documented ``(time, sequence)``
+contract exactly: heap entries at the current timestamp were necessarily
+scheduled *before* the clock arrived there (anything scheduled at the
+current time goes to the fast lane instead), so they always precede the
+fast lane's contents in insertion order.  ``step()`` therefore drains
+same-time heap entries first, then the fast lane FIFO — byte-identical
+dispatch order to a single global heap, at a fraction of the cost.  See
+``docs/modeling.md`` ("Performance") for the full ordering argument.
 
 A :class:`Process` wraps a generator.  The generator yields
 :class:`~repro.sim.events.Event` objects; the process resumes when the
@@ -15,6 +30,7 @@ wait on each other, join fan-outs with ``AllOf``, and so on.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
@@ -23,6 +39,57 @@ from repro.telemetry.tracer import NULL_TRACER
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling into the past)."""
+
+
+class _Bootstrap:
+    """Fast-lane record that starts a freshly spawned process.
+
+    Dispatches like an event (one kernel step, one ``events_processed``
+    tick) but costs a single two-word allocation instead of an
+    :class:`Event` plus its callback list.
+    """
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+
+    def _run_callbacks(self) -> None:
+        self.process._start()
+
+
+class _Throw:
+    """Fast-lane record that delivers an exception into a process."""
+
+    __slots__ = ("process", "exc")
+
+    def __init__(self, process: "Process", exc: BaseException) -> None:
+        self.process = process
+        self.exc = exc
+
+    def _run_callbacks(self) -> None:
+        self.process._throw(self.exc)
+
+
+class _ScheduledCall(Event):
+    """The pre-triggered event behind :meth:`Simulator.call_at`.
+
+    Runs its function before any externally appended callbacks, exactly
+    like the callback-list ordering of the lambda it replaces — without
+    allocating a closure per call.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None]) -> None:
+        super().__init__(sim)
+        self.fn = fn
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None  # type: ignore[assignment]
+        self.fn()
+        for callback in callbacks:
+            callback(self)
 
 
 class Process(Event):
@@ -50,11 +117,9 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick the process off via an immediately-scheduled event so that
+        # Kick the process off via an immediately-dispatched record so that
         # spawn() never runs user code synchronously.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed(None)
+        sim._fast.append(_Bootstrap(self))
 
     @property
     def is_alive(self) -> bool:
@@ -69,21 +134,34 @@ class Process(Event):
         """
         if self.triggered:
             return
-        event = Event(self.sim)
-        event.callbacks.append(lambda _e: self._throw(Interrupt(cause)))
-        event.succeed(None)
+        self.sim._fast.append(_Throw(self, Interrupt(cause)))
 
     # -- internals ----------------------------------------------------------
+
+    def _start(self) -> None:
+        """First resume: send ``None`` into the fresh generator."""
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self.generator.send(None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process death is a result
+            self.fail(exc)
+            return
+        self._wait_on(target)
 
     def _resume(self, event: Event) -> None:
         if self.triggered:
             return
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if event._ok:
+                target = self.generator.send(event._value)
             else:
-                target = self.generator.throw(event.value)
+                target = self.generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -129,10 +207,10 @@ class Process(Event):
             # yield point.
             relay = Event(self.sim)
             relay.callbacks.append(self._resume)
-            if target.ok:
-                relay.succeed(target.value)
+            if target._ok:
+                relay.succeed(target._value)
             else:
-                relay.fail(target.value)
+                relay.fail(target._value)
             self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
@@ -144,7 +222,7 @@ class Process(Event):
 
 
 class Simulator:
-    """Owner of the simulated clock and the pending-event heap.
+    """Owner of the simulated clock and the pending-event structures.
 
     Parameters
     ----------
@@ -152,11 +230,30 @@ class Simulator:
         Initial clock value (seconds).  Defaults to ``0.0``.
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_fast",
+        "_sequence",
+        "_event_count",
+        "_entry_pool",
+        "tracer",
+    )
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[list] = []
+        #: Immediate fast lane: FIFO of items scheduled at exactly
+        #: ``self._now``.  Holds events plus the lightweight dispatch
+        #: records (:class:`_Bootstrap`, :class:`_Throw`); everything in
+        #: it responds to ``_run_callbacks``.
+        self._fast: deque = deque()
         self._sequence = 0
         self._event_count = 0
+        #: Recycled ``[when, seq, event]`` heap entries.  Popped entries
+        #: return here with their event slot cleared, so steady-state
+        #: timeout traffic performs no list allocations.
+        self._entry_pool: list[list] = []
         #: The telemetry sink every instrumented subsystem consults.  The
         #: shared null tracer keeps the disabled path to one attribute
         #: read per instrumented *operation* — the kernel loop itself
@@ -211,42 +308,82 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before current time t={self._now}"
             )
-        event = Event(self)
-        event.callbacks.append(lambda _e: fn())
-        event._ok = True
-        event._value = None
+        event = _ScheduledCall(self, fn)
+        # Route the outcome through the shared trigger helper so that
+        # ``triggered``/``processed`` semantics stay single-sourced with
+        # succeed()/fail() — no hand-poked ``_ok``/``_value``.
+        event._trigger(True, None)
         self._enqueue_at(when, event)
         return event
 
     # -- scheduling internals ----------------------------------------------
 
     def _enqueue_at(self, when: float, event: Event) -> None:
-        if when < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={when} before current time t={self._now}"
-            )
         if event._scheduled:
             raise SimulationError(f"{event!r} is already scheduled")
         event._scheduled = True
+        now = self._now
+        if when == now:
+            # Immediate: the fast lane preserves insertion order, which is
+            # exactly the (time, sequence) contract at the current time.
+            self._fast.append(event)
+            return
+        if when < now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={now}"
+            )
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, event))
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = self._sequence
+            entry[2] = event
+        else:
+            entry = [when, self._sequence, event]
+        heapq.heappush(self._heap, entry)
 
     def _enqueue_triggered(self, event: Event) -> None:
-        self._enqueue_at(self._now, event)
+        """Enqueue an item that fires at the current time (fast lane).
+
+        Callers guarantee single delivery (an event can only be triggered
+        once), so no ``_scheduled`` bookkeeping is needed here.  The
+        reference kernel in the differential test suite overrides this to
+        route everything through one global heap.
+        """
+        self._fast.append(event)
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> None:
         """Dispatch the single earliest pending event."""
-        if not self._heap:
-            raise SimulationError("step() called with an empty event heap")
-        when, _seq, event = heapq.heappop(self._heap)
-        self._now = when
+        fast = self._fast
+        heap = self._heap
+        if fast:
+            # Same-time heap entries were scheduled before the clock
+            # arrived here, so they precede everything in the fast lane.
+            if heap and heap[0][0] == self._now:
+                entry = heapq.heappop(heap)
+                event = entry[2]
+                entry[2] = None
+                self._entry_pool.append(entry)
+            else:
+                event = fast.popleft()
+        elif heap:
+            entry = heapq.heappop(heap)
+            self._now = entry[0]
+            event = entry[2]
+            entry[2] = None
+            self._entry_pool.append(entry)
+        else:
+            raise SimulationError("step() called with no pending events")
         self._event_count += 1
         event._run_callbacks()
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` when idle."""
+        if self._fast:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -260,32 +397,75 @@ class Simulator:
         * an :class:`Event` — run until that event has been processed and
           return its value (raising its exception if it failed).
         """
+        fast = self._fast
+        heap = self._heap
+        pool = self._entry_pool
+        pop = heapq.heappop
+
         if isinstance(until, Event):
             sentinel = until
-            while not sentinel.processed:
-                if not self._heap:
+            while sentinel.callbacks is not None:  # i.e. not yet processed
+                if fast:
+                    if heap and heap[0][0] == self._now:
+                        entry = pop(heap)
+                        event = entry[2]
+                        entry[2] = None
+                        pool.append(entry)
+                    else:
+                        event = fast.popleft()
+                elif heap:
+                    entry = pop(heap)
+                    self._now = entry[0]
+                    event = entry[2]
+                    entry[2] = None
+                    pool.append(entry)
+                else:
                     raise SimulationError(
                         "simulation ran out of events before the target "
                         "event triggered (deadlock?)"
                     )
-                self.step()
-            if sentinel.ok:
-                return sentinel.value
-            raise sentinel.value
+                self._event_count += 1
+                event._run_callbacks()
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
 
         horizon = float("inf") if until is None else float(until)
         if horizon < self._now:
             raise SimulationError(
                 f"cannot run until t={horizon}: clock already at t={self._now}"
             )
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        while True:
+            if fast:
+                # Fast-lane items fire at the current time, which is
+                # always within the horizon.
+                if heap and heap[0][0] == self._now:
+                    entry = pop(heap)
+                    event = entry[2]
+                    entry[2] = None
+                    pool.append(entry)
+                else:
+                    event = fast.popleft()
+            elif heap:
+                when = heap[0][0]
+                if when > horizon:
+                    break
+                entry = pop(heap)
+                self._now = when
+                event = entry[2]
+                entry[2] = None
+                pool.append(entry)
+            else:
+                break
+            self._event_count += 1
+            event._run_callbacks()
         if horizon != float("inf"):
             self._now = horizon
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now} pending={len(self._heap)}>"
+        pending = len(self._fast) + len(self._heap)
+        return f"<Simulator t={self._now} pending={pending}>"
 
 
 __all__ = ["Process", "SimulationError", "Simulator"]

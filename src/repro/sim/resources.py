@@ -49,6 +49,8 @@ class Request(Event):
 class Resource:
     """A pool of ``capacity`` identical servers with a FIFO wait queue."""
 
+    __slots__ = ("sim", "capacity", "_users", "_queue")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -68,10 +70,17 @@ class Resource:
         return len(self._queue)
 
     def request(self) -> Request:
-        """Claim a slot; the returned event fires when the slot is granted."""
+        """Claim a slot; the returned event fires when the slot is granted.
+
+        The uncontended case (free capacity, empty queue — the common one
+        in offloading runs) grants inline with no queue churn: the request
+        never touches the wait deque, only the users set and the kernel's
+        immediate fast lane.
+        """
         req = Request(self.sim, self)
-        if len(self._users) < self.capacity:
-            self._users.add(req)
+        users = self._users
+        if len(users) < self.capacity:
+            users.add(req)
             req.succeed(req)
         else:
             self._queue.append(req)
@@ -119,6 +128,8 @@ class PriorityRequest(Request):
 
 class PriorityResource(Resource):
     """A :class:`Resource` whose wait queue is ordered by priority."""
+
+    __slots__ = ("_pqueue", "_order")
 
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         super().__init__(sim, capacity)
@@ -168,6 +179,8 @@ class Store:
     full, ``get`` blocks when empty.  Items are delivered FIFO.
     """
 
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters")
+
     def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
@@ -178,17 +191,37 @@ class Store:
         self._putters: Deque[tuple[Event, Any]] = deque()
 
     def put(self, item: Any) -> Event:
-        """Deposit ``item``; the returned event fires once it is buffered."""
+        """Deposit ``item``; the returned event fires once it is buffered.
+
+        Uncontended fast path: with buffer space and no waiting getter the
+        item is buffered inline, skipping the putter-queue round trip.
+        (``_settle`` keeps the invariant that waiting putters imply a full
+        buffer, so space also implies an empty putter queue.)
+        """
         event = Event(self.sim)
-        self._putters.append((event, item))
-        self._settle()
+        if not self._getters and len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+            self._settle()
         return event
 
     def get(self) -> Event:
-        """Withdraw one item; the returned event fires with the item."""
+        """Withdraw one item; the returned event fires with the item.
+
+        Uncontended fast path: with items buffered (which implies no
+        waiting getter) the head item is delivered inline; a freed slot
+        may then admit one waiting putter, same as the general path.
+        """
         event = Event(self.sim)
-        self._getters.append(event)
-        self._settle()
+        if self.items:
+            event.succeed(self.items.popleft())
+            if self._putters:
+                self._settle()
+        else:
+            self._getters.append(event)
+            self._settle()
         return event
 
     def _settle(self) -> None:
@@ -216,6 +249,8 @@ class Container:
     blocks until the level plus ``amount`` fits under ``capacity``.
     """
 
+    __slots__ = ("sim", "capacity", "_level", "_getters", "_putters")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -238,16 +273,32 @@ class Container:
         return self._level
 
     def put(self, amount: float) -> Event:
-        """Add ``amount``; fires when it fits under ``capacity``."""
+        """Add ``amount``; fires when it fits under ``capacity``.
+
+        Uncontended fast path: no putter is queued ahead (FIFO fairness)
+        and the amount fits, so the level moves inline; any getters that
+        become satisfiable are settled exactly as the general path would.
+        """
         if amount < 0:
             raise ValueError(f"amount must be >= 0, got {amount}")
         event = Event(self.sim)
-        self._putters.append((event, amount))
-        self._settle()
+        if not self._putters and self._level + amount <= self.capacity:
+            self._level += amount
+            event.succeed(None)
+            if self._getters:
+                self._settle()
+        else:
+            self._putters.append((event, amount))
+            self._settle()
         return event
 
     def get(self, amount: float) -> Event:
-        """Remove ``amount``; fires when the level covers it."""
+        """Remove ``amount``; fires when the level covers it.
+
+        Uncontended fast path mirrors :meth:`put`: no getter queued ahead
+        and the level covers the amount, so it is withdrawn inline; the
+        freed headroom may then admit waiting putters.
+        """
         if amount < 0:
             raise ValueError(f"amount must be >= 0, got {amount}")
         if amount > self.capacity:
@@ -255,8 +306,14 @@ class Container:
                 f"requested {amount} exceeds container capacity {self.capacity}"
             )
         event = Event(self.sim)
-        self._getters.append((event, amount))
-        self._settle()
+        if not self._getters and self._level >= amount:
+            self._level -= amount
+            event.succeed(amount)
+            if self._putters:
+                self._settle()
+        else:
+            self._getters.append((event, amount))
+            self._settle()
         return event
 
     def _settle(self) -> None:

@@ -1,0 +1,89 @@
+"""Tests for deterministic scenario profiling (`repro profile`)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.profiling.hotspots import (
+    expand_scenario_ref,
+    profile_scenario,
+)
+
+CONFIG = {"jobs": 3, "input_mb": 1.0}
+
+
+class TestExpandScenarioRef:
+    def test_bare_name_resolves_against_builtin_module(self):
+        assert (
+            expand_scenario_ref("offload_run")
+            == "repro.sweep.scenarios:offload_run"
+        )
+
+    def test_qualified_ref_passes_through(self):
+        assert expand_scenario_ref("pkg.mod:fn") == "pkg.mod:fn"
+
+
+class TestProfileScenario:
+    def test_runs_scenario_and_ranks_by_calls(self):
+        result = profile_scenario("offload_run", CONFIG, top=12)
+        assert result.scenario == "repro.sweep.scenarios:offload_run"
+        assert len(result.top) == 12
+        assert result.value["jobs_completed"] == 3
+        counts = [row.ncalls for row in result.top]
+        assert counts == sorted(counts, reverse=True)
+        assert all(row.ncalls > 0 for row in result.top)
+        # Kernel machinery must show up in the hot set of a sim workload.
+        assert any("repro/sim/" in row.site for row in result.top)
+
+    def test_row_order_is_identical_across_reruns(self):
+        key = lambda result: [
+            (row.site, row.ncalls, row.primcalls) for row in result.top
+        ]
+        first = profile_scenario("offload_run", CONFIG, top=20)
+        second = profile_scenario("offload_run", CONFIG, top=20)
+        assert key(first) == key(second)
+        assert first.total_calls == second.total_calls
+        assert first.total_prim_calls == second.total_prim_calls
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            profile_scenario("no_such_scenario", {})
+
+    def test_render_and_dict_shapes(self):
+        result = profile_scenario("offload_run", CONFIG, top=5)
+        rendered = result.render().render()
+        assert "Hot functions" in rendered
+        document = result.to_dict()
+        assert document["config"] == CONFIG
+        assert len(document["top"]) == 5
+        assert json.dumps(document)  # JSON-serialisable as claimed
+
+
+class TestProfileCommand:
+    def test_profile_prints_table_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", "--scenario", "offload_run",
+            "--config", json.dumps(CONFIG), "--top", "8",
+            "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Hot functions" in stdout
+        assert "reproducible" in stdout
+        document = json.loads(out.read_text())
+        assert document["scenario"] == "repro.sweep.scenarios:offload_run"
+        assert len(document["top"]) == 8
+
+    def test_profile_rejects_bad_config_json(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--config", "not json"])
+
+    def test_profile_rejects_non_object_config(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--config", "[1, 2]"])
+
+    def test_profile_unknown_scenario_exits_2(self, capsys):
+        assert main(["profile", "--scenario", "nope_nope"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Gate kernel throughput against the committed O2 baseline.
+
+CI runs ``benchmarks/bench_o2_kernel.py`` in short mode, then calls this
+with the freshly written ``BENCH_O2.json``.  The fresh run's pure-event
+throughput must stay within ``--threshold`` (default 20%) of the number
+committed in ``benchmarks/BENCH_O2.json`` — a drop past that on the same
+op mix means a kernel hot-path regression, not runner noise.
+
+Only the pure-event lane is gated: it is the most allocation-sensitive
+microbench and the least dependent on scheduler jitter.  The other lanes
+are reported for context but do not fail the build (CI runners vary too
+much for hard gates on the contended benches).
+
+Usage::
+
+    python tools/check_bench_o2.py /tmp/bench-json/BENCH_O2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMMITTED = REPO_ROOT / "benchmarks" / "BENCH_O2.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path,
+                        help="BENCH_O2.json from the run under test")
+    parser.add_argument("--committed", type=Path, default=COMMITTED,
+                        help="baseline BENCH_O2.json (default: committed)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max fractional events/sec drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    committed = json.loads(args.committed.read_text())
+
+    baseline = committed["events_per_s_pure"]
+    measured = fresh["events_per_s_pure"]
+    ratio = measured / baseline
+    floor = 1.0 - args.threshold
+
+    for name, ops_per_s in sorted(fresh["ops_per_s"].items()):
+        reference = committed["ops_per_s"].get(name)
+        rel = f"{ops_per_s / reference:6.2f}x vs committed" if reference else ""
+        print(f"  {name:>16}: {ops_per_s:12.0f} ops/s  {rel}")
+
+    if ratio < floor:
+        print(
+            f"FAIL: pure-event throughput {measured:.0f}/s is "
+            f"{100 * (1 - ratio):.1f}% below the committed "
+            f"{baseline:.0f}/s (allowed drop {100 * args.threshold:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: pure-event throughput at {100 * ratio:.1f}% of committed "
+        f"baseline (floor {100 * floor:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

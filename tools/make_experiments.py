@@ -54,14 +54,14 @@ FOOTER = """---
 ```bash
 python setup.py develop          # offline env: pip lacks the wheel pkg
 pytest tests/                    # 720+ unit/integration/property tests
-pytest benchmarks/ --benchmark-only   # all 25 experiments + shape asserts
+pytest benchmarks/ --benchmark-only   # all 26 experiments + shape asserts
 python benchmarks/bench_f1_bandwidth.py   # any single experiment
 python tools/make_experiments.py          # regenerate this document
 ```
 
 All experiments are deterministic (fixed seeds, derandomised property
-tests, integer-exact min-cut); every table except the F6 and O1 wall-clock
-columns regenerates bit-identically.
+tests, integer-exact min-cut); every table except the F6, O1 and O2
+wall-clock columns regenerates bit-identically.
 """
 
 
@@ -93,6 +93,7 @@ def build_sections():
     from bench_a10_observed_signals import run_a10
     from bench_r1_chaos import run_r1
     from bench_o1_overhead import run_o1
+    from bench_o2_kernel import run_o2
 
     def single(fn):
         return lambda: print(fn())
@@ -421,7 +422,32 @@ def build_sections():
             "deliberately not free — one span per event costs a few "
             "hundred ns each — which is why the tracer is opt-in per "
             "run (`--trace`).  Wall-clock columns here are the suite's "
-            "only non-deterministic numbers besides F6's.",
+            "only non-deterministic numbers besides F6's and O2's.",
+        ),
+        (
+            "O2", "Optimisation: kernel throughput (fast-lane dispatch)",
+            "Fleet-sized studies are gated on raw kernel throughput, so "
+            "the dispatch hot path must be fast *without* perturbing a "
+            "single trace: an immediate-event fast lane, pooled heap "
+            "entries, slotted dispatch records and no-contention resource "
+            "fast paths, all preserving the (time, sequence) dispatch "
+            "order byte-for-byte.",
+            single(run_o2),
+            "**Verdict ✅** — vs the pre-PR heap-only kernel on the same "
+            "op mix: pure-event dispatch 1.15M → ~2.1M events/s (1.8x, "
+            "target ≥1.5x), spawn/join 1.6x, contended resource cycles "
+            "1.26x, link transfers 1.5x, and the F6 80-job end-to-end "
+            "wall 71.8 ms → ~47 ms (1.5x, target ≥1.15x) — at an "
+            "*unchanged* event count (9207) and byte-identical golden "
+            "traces.  Equivalence is enforced three ways: the golden "
+            "fixtures, a Hypothesis differential suite against a "
+            "reconstructed heap-only reference kernel "
+            "(`tests/test_kernel_fastlane.py`), and a tracemalloc "
+            "per-job allocation budget (`tests/test_alloc_budget.py`).  "
+            "CI gates every commit against the committed "
+            "`benchmarks/BENCH_O2.json` via `tools/check_bench_o2.py`.  "
+            "Wall-clock columns are non-deterministic; the speedup "
+            "column is meaningful on comparable hardware only.",
         ),
     ]
 
