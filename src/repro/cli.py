@@ -379,6 +379,80 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.fleet.sharded import ShardedFleetSpec, run_sharded
+    from repro.fleet.topology import FleetTopology
+
+    topology = FleetTopology.uniform(
+        n_zones=args.zones,
+        ues_per_zone=args.ues_per_zone,
+        connectivity=args.connectivity,
+        jobs_per_ue=args.jobs_per_ue,
+        couple=args.couple,
+        seed=args.seed,
+    )
+    spec = ShardedFleetSpec(
+        topology=topology,
+        app=args.app,
+        input_mb=args.input_mb,
+        window_s=args.window,
+        slack_s=args.slack,
+        keep_alive_s=args.keep_alive,
+        sync_window_s=args.sync_window,
+    )
+    workers = args.workers if args.workers else (os.cpu_count() or 1)
+    started = time.perf_counter()
+    result = run_sharded(
+        spec,
+        n_shards=args.shards,
+        workers=workers,
+        split_coupled=args.split_coupled,
+        cache_dir=args.cache_dir,
+    )
+    wall_s = time.perf_counter() - started
+
+    if args.out:
+        Path(args.out).write_text(result.merged_json())
+        print(f"merged fleet report written to {args.out}")
+
+    aggregates = result.aggregates
+    table = Table(["metric", "value"], title="Sharded fleet report",
+                  precision=3)
+    table.add_row("zones", len(topology.zones))
+    table.add_row("UEs", topology.total_ues)
+    table.add_row("jobs submitted", aggregates["jobs_submitted"])
+    table.add_row("shards", result.plan.n_shards)
+    table.add_row("workers", workers)
+    table.add_row("merge", "exact" if result.exact else "bounded-error")
+    table.add_row("jobs completed", aggregates["jobs_completed"])
+    table.add_row("job failures", aggregates["failures"])
+    table.add_row("deadline miss %", 100 * aggregates["deadline_miss_rate"])
+    table.add_row("mean response s", aggregates["mean_response_s"])
+    table.add_row("UE energy J", aggregates["total_ue_energy_j"])
+    table.add_row("cloud cost $", aggregates["total_cloud_cost_usd"])
+    table.add_row("platform bill $", aggregates["platform_usd"])
+    table.add_row("cold-start %", 100 * aggregates["cold_start_fraction"])
+    table.add_row("sim events", aggregates["sim_events"])
+    table.add_row("wall s", wall_s)
+    if wall_s > 0:
+        table.add_row("UEs / wall s", topology.total_ues / wall_s)
+    print(table)
+    if result.error_bound is not None:
+        bound = result.error_bound
+        print(
+            f"error bound (split links {bound['split_links']}): "
+            f"|Δcold_starts| <= {bound['cold_starts']}, "
+            f"|Δmean_response_s| <= {bound['mean_response_s']:.3f}, "
+            f"Δcost = {bound['total_cloud_cost_usd']:.1f} "
+            f"(window {bound['window_s']:.0f}s)"
+        )
+    return 0 if not aggregates["failures"] else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     import json
 
@@ -556,11 +630,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--manifest", default=None,
                        help="write the execution manifest JSON here")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a zoned UE fleet, sharded across worker processes",
+    )
+    fleet.add_argument("--app", default="photo_backup",
+                       help="catalog app every UE runs")
+    fleet.add_argument("--zones", type=int, default=4,
+                       help="number of zones (default 4)")
+    fleet.add_argument("--ues-per-zone", type=int, default=8,
+                       help="UEs in each zone (default 8)")
+    fleet.add_argument("--jobs-per-ue", type=int, default=1,
+                       help="jobs each UE submits (default 1)")
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="shards to partition the topology into")
+    fleet.add_argument("--workers", type=int, default=0,
+                       help="worker processes (default: all cores)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--connectivity", default="4g",
+                       choices=sorted(CONNECTIVITY_PROFILES))
+    fleet.add_argument("--couple", default="none",
+                       choices=["none", "ring", "pairs"],
+                       help="warm-pool coupling links between zones")
+    fleet.add_argument("--split-coupled", action="store_true",
+                       help="allow links to cross shards (bounded-error "
+                            "merge instead of exact)")
+    fleet.add_argument("--input-mb", type=float, default=2.0,
+                       help="input size per job (default 2.0)")
+    fleet.add_argument("--window", type=float, default=3600.0,
+                       help="release window spreading the fleet's jobs (s)")
+    fleet.add_argument("--slack", type=float, default=3600.0,
+                       help="seconds from release to deadline")
+    fleet.add_argument("--keep-alive", type=float, default=600.0,
+                       help="platform sandbox keep-alive (s)")
+    fleet.add_argument("--sync-window", type=float, default=600.0,
+                       help="conservative sync window for the error bound "
+                            "(clamped up to keep-alive)")
+    fleet.add_argument("--cache-dir", default=None,
+                       help="per-shard result cache directory")
+    fleet.add_argument("--out", default=None,
+                       help="write the merged fleet report JSON here "
+                            "(byte-identical across shard/worker counts "
+                            "when the merge is exact)")
+
     return parser
 
 
 COMMANDS = {
     "analyze": cmd_analyze,
+    "fleet": cmd_fleet,
     "diff": cmd_diff,
     "list-apps": cmd_list_apps,
     "list-profiles": cmd_list_profiles,

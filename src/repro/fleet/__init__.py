@@ -7,8 +7,37 @@ provisioning.  :class:`FleetEnvironment` builds N devices (optionally on
 mixed connectivity) over a *shared* simulator and platform;
 :class:`FleetController` plans once per device and drives the combined
 workload, reporting per-device and aggregate outcomes.
+
+Past a few thousand UEs one process stops being enough:
+:mod:`repro.fleet.topology` describes the fleet as zones with warm-pool
+coupling links, and :mod:`repro.fleet.sharded` partitions it across
+worker processes with a deterministic, byte-stable merge.
 """
 
 from repro.fleet.fleet import FleetController, FleetEnvironment, FleetReport
+from repro.fleet.sharded import (
+    ShardedFleetResult,
+    ShardedFleetSpec,
+    reference_report,
+    run_sharded,
+)
+from repro.fleet.topology import (
+    FleetTopology,
+    ShardPlan,
+    Zone,
+    partition_topology,
+)
 
-__all__ = ["FleetController", "FleetEnvironment", "FleetReport"]
+__all__ = [
+    "FleetController",
+    "FleetEnvironment",
+    "FleetReport",
+    "FleetTopology",
+    "ShardPlan",
+    "ShardedFleetResult",
+    "ShardedFleetSpec",
+    "Zone",
+    "partition_topology",
+    "reference_report",
+    "run_sharded",
+]

@@ -4,7 +4,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.apps.graph import AppGraph
 from repro.apps.jobs import Job
@@ -130,13 +140,18 @@ class FleetReport:
 
     @property
     def mean_response_s(self) -> float:
-        """Mean response time over every completed job."""
+        """Mean response time over every completed job.
+
+        An empty or all-failed run reports ``0.0`` rather than NaN: the
+        sharded fleet path makes zero-job shards reachable, and NaN
+        would poison every canonical-JSON merge downstream.
+        """
         responses = [
             r.response_time
             for report in self.per_device.values()
             for r in report.results
         ]
-        return sum(responses) / len(responses) if responses else math.nan
+        return sum(responses) / len(responses) if responses else 0.0
 
     @property
     def total_ue_energy_j(self) -> float:
@@ -147,6 +162,28 @@ class FleetReport:
     def total_cloud_cost_usd(self) -> float:
         """Serverless bill summed over every device's jobs."""
         return sum(r.total_cloud_cost_usd for r in self.per_device.values())
+
+    @staticmethod
+    def merge(reports: Iterable["FleetReport"]) -> "FleetReport":
+        """Key-ordered union of per-device reports.
+
+        Merging is associative with :class:`FleetReport()` as identity,
+        and every aggregate of the merged report equals the same
+        aggregate computed over the concatenated job set — the contract
+        the sharded fleet runner's deterministic merge relies on.  A
+        device index appearing in more than one input is an error: the
+        shard partitioner assigns every UE exactly once, so a collision
+        means the inputs do not come from a partition.
+        """
+        merged: Dict[int, ControllerReport] = {}
+        for report in reports:
+            for index, device_report in report.per_device.items():
+                if index in merged:
+                    raise ValueError(
+                        f"device {index} appears in more than one report"
+                    )
+                merged[index] = device_report
+        return FleetReport(per_device=dict(sorted(merged.items())))
 
 
 class FleetController:
@@ -200,8 +237,19 @@ class FleetController:
         """The per-device controller (for inspection)."""
         return self.controllers[device_index]
 
-    def run(self, jobs_by_device: Dict[int, List[Job]]) -> FleetReport:
-        """Release each device's jobs and run the shared simulation."""
+    def launch(
+        self, jobs_by_device: Dict[int, List[Job]]
+    ) -> Tuple[FleetReport, List[Event]]:
+        """Spawn the release drivers without running the simulator.
+
+        Returns the (still-empty) report and the driver completion
+        events.  :meth:`run` is ``launch`` + one ``sim.run``; keeping the
+        two apart lets several fleets — e.g. one per zone in
+        :mod:`repro.fleet.sharded` — co-simulate on a shared simulator
+        and platform before anything is driven to completion.  Callers
+        of ``launch`` must sort each device's results by completion time
+        once the simulation finishes (``run`` does this for you).
+        """
         report = FleetReport(
             per_device={index: ControllerReport() for index in jobs_by_device}
         )
@@ -231,7 +279,14 @@ class FleetController:
                 drivers.append(
                     sim.spawn(release(controller, job, device_report))
                 )
-        sim.run(until=sim.all_of(drivers))
+        return report, drivers
+
+    def run(self, jobs_by_device: Dict[int, List[Job]]) -> FleetReport:
+        """Release each device's jobs and run the shared simulation."""
+        report, drivers = self.launch(jobs_by_device)
+        sim = self.env.sim
+        if drivers:
+            sim.run(until=sim.all_of(drivers))
         for device_report in report.per_device.values():
             device_report.results.sort(key=lambda r: r.finished_at)
         return report

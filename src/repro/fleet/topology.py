@@ -1,0 +1,347 @@
+"""Zone/UE fleet topologies and the shard partitioner.
+
+A :class:`FleetTopology` describes a fleet as *zones* — named groups of
+UEs on shared connectivity — plus optional *links* between zones.  A
+link couples two zones through the serverless platform: linked zones
+share one warm pool (one user's invocation keeps the sandbox warm for a
+neighbour's), so they must be simulated together to be exact.  Unlinked
+zones are independent and can be simulated anywhere, in any order, on
+any worker.
+
+:func:`partition_topology` assigns zones to shards, balanced by expected
+event load, with every UE assigned exactly once.  Coupling groups
+(connected components over the links) are atomic by default, so the
+default partition is always *exact*: no link ever crosses a shard
+boundary.  ``split_coupled=True`` trades exactness for balance — zones
+are placed individually and any link whose endpoints land on different
+shards is reported in :attr:`ShardPlan.split_links`, which drives the
+bounded-error accounting in :mod:`repro.fleet.sharded`.
+
+Everything here is deterministic and ``PYTHONHASHSEED``-independent:
+ordering only ever comes from sorting zone names and loads, and derived
+seeds come from SHA-256, never from :func:`hash`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+
+def derive_seed(root_seed: int, *parts: str) -> int:
+    """A deterministic sub-seed from a root seed and string labels.
+
+    SHA-256 based like :class:`~repro.sim.rng.SeedSequenceRegistry`'s
+    stream derivation, so it is stable across processes and hash seeds.
+    """
+    text = f"{int(root_seed)}|" + "|".join(parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One group of UEs sharing a connectivity mix and workload shape.
+
+    ``connectivity`` may be one preset name or a sequence cycled across
+    the zone's UEs (mixed-technology zones).  ``jobs_per_ue`` scales the
+    zone's expected event load; zero-UE and zero-job zones are legal —
+    they make empty shards reachable, which the sharded path must
+    survive.
+    """
+
+    name: str
+    n_ues: int
+    connectivity: Union[str, Tuple[str, ...]] = ("4g",)
+    jobs_per_ue: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("zone name must be non-empty")
+        if self.n_ues < 0:
+            raise ValueError("n_ues must be >= 0")
+        if self.jobs_per_ue < 0:
+            raise ValueError("jobs_per_ue must be >= 0")
+        profiles = (
+            (self.connectivity,)
+            if isinstance(self.connectivity, str)
+            else tuple(self.connectivity)
+        )
+        if not profiles:
+            raise ValueError("a zone needs at least one connectivity preset")
+        object.__setattr__(self, "connectivity", profiles)
+
+    @property
+    def expected_load(self) -> float:
+        """Expected event load: job executions the zone contributes."""
+        return float(self.n_ues * self.jobs_per_ue)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "n_ues": self.n_ues,
+            "connectivity": list(self.connectivity),
+            "jobs_per_ue": self.jobs_per_ue,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Zone":
+        return Zone(
+            name=data["name"],
+            n_ues=int(data["n_ues"]),
+            connectivity=tuple(data.get("connectivity", ("4g",))),
+            jobs_per_ue=int(data.get("jobs_per_ue", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """Zones plus the warm-pool coupling links between them.
+
+    Zones are stored sorted by name and links are normalised (endpoint
+    pairs sorted, duplicates and self-links rejected), so two
+    topologies with the same content are equal and serialise to the
+    same canonical JSON.  Global UE ids are positional in sorted zone
+    order: zone ``z`` owns ids ``ue_base(z) .. ue_base(z) + n_ues - 1``,
+    independent of any shard layout.
+    """
+
+    zones: Tuple[Zone, ...]
+    links: Tuple[Tuple[str, str], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        zones = tuple(sorted(self.zones, key=lambda z: z.name))
+        if not zones:
+            raise ValueError("a topology needs at least one zone")
+        names = [zone.name for zone in zones]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate zone names in {names}")
+        known = set(names)
+        normalised = set()
+        for link in self.links:
+            a, b = link
+            if a == b:
+                raise ValueError(f"self-link on zone {a!r}")
+            if a not in known or b not in known:
+                raise ValueError(f"link {link!r} names an unknown zone")
+            normalised.add((min(a, b), max(a, b)))
+        object.__setattr__(self, "zones", zones)
+        object.__setattr__(self, "links", tuple(sorted(normalised)))
+
+    @property
+    def total_ues(self) -> int:
+        return sum(zone.n_ues for zone in self.zones)
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(zone.n_ues * zone.jobs_per_ue for zone in self.zones)
+
+    def zone(self, name: str) -> Zone:
+        for candidate in self.zones:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no zone {name!r}")
+
+    def ue_base(self, name: str) -> int:
+        """Global id of the zone's first UE (shard-layout independent)."""
+        base = 0
+        for candidate in self.zones:
+            if candidate.name == name:
+                return base
+            base += candidate.n_ues
+        raise KeyError(f"no zone {name!r}")
+
+    def neighbours(self) -> Dict[str, List[str]]:
+        """Adjacency over the links, every neighbour list sorted."""
+        adjacency: Dict[str, List[str]] = {zone.name: [] for zone in self.zones}
+        for a, b in self.links:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        return {name: sorted(peers) for name, peers in adjacency.items()}
+
+    def coupling_groups(self) -> Tuple[Tuple[str, ...], ...]:
+        """Connected components over the links — the units that must be
+        co-simulated for exactness.  Deterministically ordered: each
+        group sorted by name, groups sorted by first member."""
+        adjacency = self.neighbours()
+        seen: set = set()
+        groups: List[Tuple[str, ...]] = []
+        for zone in self.zones:  # already name-sorted
+            if zone.name in seen:
+                continue
+            component = []
+            frontier = [zone.name]
+            seen.add(zone.name)
+            while frontier:
+                current = frontier.pop(0)
+                component.append(current)
+                for peer in adjacency[current]:
+                    if peer not in seen:
+                        seen.add(peer)
+                        frontier.append(peer)
+            groups.append(tuple(sorted(component)))
+        return tuple(sorted(groups))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "zones": [zone.to_dict() for zone in self.zones],
+            "links": [list(link) for link in self.links],
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FleetTopology":
+        return FleetTopology(
+            zones=tuple(Zone.from_dict(z) for z in data["zones"]),
+            links=tuple((a, b) for a, b in data.get("links", ())),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @staticmethod
+    def uniform(
+        n_zones: int,
+        ues_per_zone: int,
+        connectivity: Union[str, Sequence[str]] = "4g",
+        jobs_per_ue: int = 1,
+        couple: str = "none",
+        seed: int = 0,
+    ) -> "FleetTopology":
+        """A homogeneous topology (the CLI and benchmark default).
+
+        ``couple`` adds links: ``"none"`` leaves every zone independent,
+        ``"ring"`` links zone ``i`` to ``i+1`` (and last to first),
+        ``"pairs"`` links zones ``(0,1), (2,3), ...``.
+        """
+        if n_zones < 1:
+            raise ValueError("n_zones must be >= 1")
+        profiles = (
+            (connectivity,)
+            if isinstance(connectivity, str)
+            else tuple(connectivity)
+        )
+        names = [f"z{i:03d}" for i in range(n_zones)]
+        zones = tuple(
+            Zone(
+                name=name,
+                n_ues=ues_per_zone,
+                connectivity=profiles,
+                jobs_per_ue=jobs_per_ue,
+            )
+            for name in names
+        )
+        if couple == "none":
+            links: Tuple[Tuple[str, str], ...] = ()
+        elif couple == "ring":
+            links = tuple(
+                (names[i], names[(i + 1) % n_zones])
+                for i in range(n_zones)
+                if n_zones > 1 and names[i] != names[(i + 1) % n_zones]
+            )
+        elif couple == "pairs":
+            links = tuple(
+                (names[i], names[i + 1]) for i in range(0, n_zones - 1, 2)
+            )
+        else:
+            raise ValueError(
+                f"unknown coupling {couple!r}; choose none | ring | pairs"
+            )
+        return FleetTopology(zones=zones, links=links, seed=seed)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The output of :func:`partition_topology`.
+
+    ``shards[i]`` is the (sorted) tuple of zone names on shard ``i``;
+    shards may be empty.  ``split_links`` lists every topology link whose
+    endpoints landed on different shards — always empty unless the
+    partition was taken with ``split_coupled=True``.
+    """
+
+    topology: FleetTopology
+    shards: Tuple[Tuple[str, ...], ...]
+    split_links: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, zone_name: str) -> int:
+        for index, shard in enumerate(self.shards):
+            if zone_name in shard:
+                return index
+        raise KeyError(f"zone {zone_name!r} not in this plan")
+
+    def loads(self) -> List[float]:
+        """Expected event load per shard."""
+        return [
+            sum(self.topology.zone(name).expected_load for name in shard)
+            for shard in self.shards
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": [list(shard) for shard in self.shards],
+            "split_links": [list(link) for link in self.split_links],
+        }
+
+
+def partition_topology(
+    topology: FleetTopology,
+    n_shards: int,
+    split_coupled: bool = False,
+) -> ShardPlan:
+    """Assign zones to shards, balanced by expected event load.
+
+    Greedy LPT over the placement units: units are taken largest-first
+    (ties broken by name) and each goes to the least-loaded shard (ties
+    broken by shard index).  Units are coupling groups by default — a
+    link is never split, so the plan is exact — or individual zones with
+    ``split_coupled=True``.  The classic LPT argument bounds the
+    imbalance either way::
+
+        max(shard_load) <= mean(shard_load) + max(unit_load)
+
+    because the fullest shard was the emptiest (hence at most average)
+    when it received its last unit.  The assignment depends only on the
+    topology's canonical form, so it is deterministic across processes
+    and ``PYTHONHASHSEED`` values.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if split_coupled:
+        units: List[Tuple[str, ...]] = [(zone.name,) for zone in topology.zones]
+    else:
+        units = list(topology.coupling_groups())
+
+    def unit_load(unit: Tuple[str, ...]) -> float:
+        return sum(topology.zone(name).expected_load for name in unit)
+
+    bins: List[List[str]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for unit in sorted(units, key=lambda u: (-unit_load(u), u)):
+        target = min(range(n_shards), key=lambda i: (loads[i], i))
+        bins[target].extend(unit)
+        loads[target] += unit_load(unit)
+
+    shards = tuple(tuple(sorted(zone_names)) for zone_names in bins)
+    placement = {
+        name: index for index, shard in enumerate(shards) for name in shard
+    }
+    split_links = tuple(
+        link
+        for link in topology.links
+        if placement[link[0]] != placement[link[1]]
+    )
+    return ShardPlan(topology=topology, shards=shards, split_links=split_links)
+
+
+__all__ = [
+    "FleetTopology",
+    "ShardPlan",
+    "Zone",
+    "derive_seed",
+    "partition_topology",
+]

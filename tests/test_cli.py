@@ -398,3 +398,43 @@ class TestPipeline:
         out = capsys.readouterr().out
         assert "PROMOTED" in out
         assert "deploy-canary" in out
+
+
+class TestFleet:
+    def _argv(self, tmp_path, tag, shards, workers=1, extra=()):
+        return [
+            "fleet",
+            "--zones", "3", "--ues-per-zone", "2",
+            "--window", "600", "--slack", "1200",
+            "--shards", str(shards), "--workers", str(workers),
+            "--out", str(tmp_path / f"fleet-{tag}.json"),
+            *extra,
+        ]
+
+    def test_fleet_reports_metrics(self, tmp_path, capsys):
+        import json
+
+        assert main(self._argv(tmp_path, "a", 2)) == 0
+        out = capsys.readouterr().out
+        assert "Sharded fleet report" in out
+        assert "exact" in out
+        document = json.loads((tmp_path / "fleet-a.json").read_text())
+        assert document["schema"] == "repro.fleet.sharded/1"
+        assert document["aggregates"]["jobs_completed"] == 6
+
+    def test_fleet_byte_identical_across_shards_and_workers(self, tmp_path):
+        main(self._argv(tmp_path, "1s", 1))
+        main(self._argv(tmp_path, "4s", 4, workers=2))
+        one = (tmp_path / "fleet-1s.json").read_bytes()
+        four = (tmp_path / "fleet-4s.json").read_bytes()
+        assert one == four
+
+    def test_fleet_split_coupled_prints_bound(self, tmp_path, capsys):
+        argv = self._argv(
+            tmp_path, "split", 4,
+            extra=("--couple", "pairs", "--split-coupled", "--zones", "4"),
+        )
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "bounded-error" in out
+        assert "error bound" in out

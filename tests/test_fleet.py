@@ -132,13 +132,117 @@ class TestFleetController:
         assert schedulers[0] is not schedulers[1]
 
     def test_empty_report_stats(self):
+        # The sharded path makes zero-job shards reachable, so empty
+        # aggregates must be 0.0, not NaN (which canonical JSON rejects).
         from repro.fleet import FleetReport
-        import math
 
         report = FleetReport()
         assert report.jobs_completed == 0
         assert report.deadline_miss_rate == 0.0
-        assert math.isnan(report.mean_response_s)
+        assert report.mean_response_s == 0.0
+
+    def test_all_failed_report_stats(self):
+        from repro.core.controller import ControllerReport, JobFailure
+        from repro.fleet import FleetReport
+
+        failed = ControllerReport(
+            failures=[JobFailure(Job(photo_backup_app()), 1.0, RuntimeError())]
+        )
+        report = FleetReport(per_device={0: failed})
+        assert report.jobs_completed == 0
+        assert report.mean_response_s == 0.0
+        assert report.deadline_miss_rate == 1.0
+
+
+class TestFleetReportMerge:
+    """Merge arithmetic: merging then aggregating must equal aggregating
+    over the concatenated job set — the sharded runner's contract."""
+
+    @staticmethod
+    def device_report(responses, misses=0, failures=0, energy=1.0, cost=0.1):
+        from repro.apps.jobs import JobResult
+        from repro.core.controller import ControllerReport, JobFailure
+
+        app = photo_backup_app()
+        results = []
+        for k, response in enumerate(responses):
+            released = 10.0 * k
+            deadline = released + (0.0 if k < misses else 2 * response)
+            results.append(
+                JobResult(
+                    job=Job(app, released_at=released, deadline=deadline),
+                    started_at=released,
+                    finished_at=released + response,
+                    ue_energy_j=energy,
+                    cloud_cost_usd=cost,
+                )
+            )
+        report = ControllerReport(results=results)
+        for _ in range(failures):
+            report.failures.append(
+                JobFailure(Job(app), 1.0, RuntimeError("boom"))
+            )
+        return report
+
+    def make_reports(self):
+        from repro.fleet import FleetReport
+
+        a = FleetReport(per_device={
+            0: self.device_report([3.0, 5.0], misses=1),
+            1: self.device_report([7.0], failures=1),
+        })
+        b = FleetReport(per_device={2: self.device_report([], failures=2)})
+        c = FleetReport(per_device={
+            3: self.device_report([11.0, 13.0, 17.0], energy=2.5, cost=0.4),
+        })
+        return a, b, c
+
+    def test_merge_equals_concatenation(self):
+        from repro.fleet import FleetReport
+
+        a, b, c = self.make_reports()
+        merged = FleetReport.merge([a, b, c])
+        assert set(merged.per_device) == {0, 1, 2, 3}
+
+        all_results = [
+            r
+            for part in (a, b, c)
+            for report in part.per_device.values()
+            for r in report.results
+        ]
+        all_failures = sum(part.failures for part in (a, b, c))
+        assert merged.jobs_completed == len(all_results)
+        assert merged.failures == all_failures
+        assert merged.mean_response_s == pytest.approx(
+            sum(r.response_time for r in all_results) / len(all_results)
+        )
+        missed = sum(1 for r in all_results if not r.met_deadline)
+        assert merged.deadline_miss_rate == pytest.approx(
+            (missed + all_failures) / (len(all_results) + all_failures)
+        )
+        assert merged.total_ue_energy_j == pytest.approx(
+            sum(r.ue_energy_j for r in all_results)
+        )
+        assert merged.total_cloud_cost_usd == pytest.approx(
+            sum(r.cloud_cost_usd for r in all_results)
+        )
+
+    def test_merge_associative_with_empty_identity(self):
+        from repro.fleet import FleetReport
+
+        a, b, c = self.make_reports()
+        left = FleetReport.merge([FleetReport.merge([a, b]), c])
+        right = FleetReport.merge([a, FleetReport.merge([b, c])])
+        with_identity = FleetReport.merge([FleetReport(), a, b, c])
+        assert left.per_device == right.per_device == with_identity.per_device
+        assert FleetReport.merge([]).per_device == {}
+
+    def test_merge_rejects_duplicate_device(self):
+        from repro.fleet import FleetReport
+
+        a, _b, _c = self.make_reports()
+        with pytest.raises(ValueError, match="more than one report"):
+            FleetReport.merge([a, a])
 
 
 class TestFleetEconomics:

@@ -80,6 +80,7 @@ def build_sections():
     from bench_f6_scalability import run_components_axis, run_jobs_axis
     from bench_f7_fleet import figure_f7, run_f7
     from bench_f8_ntc_stack import run_f8
+    from bench_f10_sharding import run_f10
     from bench_f9_pareto import run_f9
     from bench_a1_partitioner_ablation import run_a1
     from bench_a2_demand_ablation import run_a2
@@ -250,6 +251,19 @@ def build_sections():
             "100% → 1% as the fleet grows from 2 to 96 devices on a "
             "fixed window, with per-job cost flat (±2%) and the aggregate "
             "bill exactly linear — pay-per-use with a communal warm pool.",
+        ),
+        (
+            "F10", "Sharded fleet scaling",
+            "Fleet studies beyond one core: partition the zone topology "
+            "across worker processes without changing a single byte of "
+            "the result.",
+            single(run_f10),
+            "**Verdict ✅** — the merged fleet report is byte-identical "
+            "at 1, 2, and 4 shards (the exactness condition: no link "
+            "crosses a shard boundary), and shard fan-out scales "
+            "UEs-simulated-per-wall-second with worker processes on "
+            "multi-core hosts.  (The speedup column is only meaningful "
+            "on ≥4 cores; single-core CI shows pool overhead instead.)",
         ),
         (
             "F8", "The non-time-critical stack (capstone)",
