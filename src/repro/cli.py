@@ -9,10 +9,17 @@ Exposes the library's main flows without writing code::
     python -m repro pipeline --app nightly_analytics
     python -m repro sweep --grid '{"connectivity": ["3g", "4g"]}' \\
                           --seeds 3 --workers 4 --out merged.json
+    python -m repro fleet --zones 8 --shards 4 --chaos uplink-outage \\
+                          --health-out health.json
     python -m repro diff baseline_trace.json candidate_trace.json
+    python -m repro ledger show --last 5
 
 Every command is deterministic for a given ``--seed``; ``sweep`` output
-is additionally byte-identical regardless of ``--workers``.
+is additionally byte-identical regardless of ``--workers``, and
+``fleet --health-out`` is byte-identical across shard/worker counts when
+the merge is exact.  ``run``/``sweep``/``fleet`` invocations append one
+line to the run ledger (``.repro_ledger.jsonl`` by default; disable
+with ``--no-ledger`` or ``REPRO_LEDGER=""``).
 """
 
 from __future__ import annotations
@@ -72,6 +79,41 @@ def _resolve_scheduler(name: str, window_s: float) -> Scheduler:
     raise SystemExit(
         f"unknown scheduler {name!r}; choose from "
         "['eager', 'edf', 'batcher', 'costwindow']"
+    )
+
+
+def _ledger_record(
+    args: argparse.Namespace,
+    command: str,
+    config,
+    wall_s: float,
+    metrics=None,
+    artifacts=(),
+) -> None:
+    """Append one run-ledger entry (best-effort, never fatal)."""
+    if getattr(args, "no_ledger", False):
+        return
+    from repro.ledger import append_entry, make_entry, resolve_ledger_path
+
+    path = resolve_ledger_path(getattr(args, "ledger", None))
+    if path is None:
+        return
+    entry = make_entry(
+        command,
+        config,
+        wall_s,
+        metrics=metrics,
+        artifacts=[str(a) for a in artifacts if a],
+        argv=getattr(args, "invocation_argv", []),
+    )
+    try:
+        index = append_entry(path, entry)
+    except OSError as error:
+        print(f"warning: ledger append failed: {error}", file=sys.stderr)
+        return
+    print(
+        f"ledger: entry #{index} ({entry.config_sha256[:12]}) -> {path}",
+        file=sys.stderr,
     )
 
 
@@ -160,6 +202,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import time
+
+    started = time.perf_counter()
     controller = _build_controller(args)
     if args.workload:
         from repro.traces.replay import load_workload
@@ -222,6 +267,33 @@ def cmd_run(args: argparse.Namespace) -> int:
         100 * controller.env.platform.cold_start_fraction(),
     )
     print(table)
+    _ledger_record(
+        args,
+        command="run",
+        config={
+            "app": args.app,
+            "connectivity": args.connectivity,
+            "input_mb": args.input_mb,
+            "jobs": args.jobs,
+            "scheduler": args.scheduler,
+            "seed": args.seed,
+            "slack": args.slack,
+            "spacing": args.spacing,
+            "weights": args.weights,
+            "window": args.window,
+            "with_storage": bool(args.with_storage),
+            "workload": args.workload,
+        },
+        wall_s=time.perf_counter() - started,
+        metrics={
+            "deadline_miss_rate": report.deadline_miss_rate,
+            "failures": len(report.failures),
+            "jobs_completed": report.jobs_completed,
+            "mean_response_s": report.mean_response_s,
+            "total_cloud_cost_usd": report.total_cloud_cost_usd,
+        },
+        artifacts=(args.trace, args.save_report),
+    )
     return 0 if not report.failures else 1
 
 
@@ -243,9 +315,81 @@ def _load_artifact(loader, path: str):
         raise SystemExit(2)
 
 
+def _report_fleet_health(args: argparse.Namespace, payload: dict) -> int:
+    """Render a ``repro fleet --health-out`` document."""
+    from repro.monitor import fleet_health_to_prometheus
+
+    fleet = payload.get("fleet", {})
+    counters = payload.get("counters", {})
+    table = Table(["metric", "value"], title="Fleet health report",
+                  precision=3)
+    table.add_row("fleet status", fleet.get("status", "?"))
+    table.add_row("zones", fleet.get("zones", 0))
+    table.add_row("UEs", fleet.get("ues", 0))
+    table.add_row("coupling groups", fleet.get("groups", 0))
+    table.add_row("alerts fired", fleet.get("alerts_fired", 0))
+    table.add_row("alerts active", fleet.get("alerts_active", 0))
+    table.add_row("monitored events", fleet.get("monitored_events", 0))
+    table.add_row("jobs submitted", counters.get("jobs_submitted", 0))
+    table.add_row("jobs completed", counters.get("jobs_completed", 0))
+    table.add_row("failures", counters.get("failures", 0))
+    table.add_row("cold starts", counters.get("cold_starts", 0))
+    table.add_row("cloud cost $", counters.get("total_cloud_cost_usd", 0.0))
+    print(table)
+    zones = payload.get("zones", {})
+    if zones:
+        zone_table = Table(
+            ["zone", "status", "UEs", "jobs", "completed", "failures",
+             "mean resp s", "cost $"],
+            title="Zone health",
+            precision=3,
+        )
+        for name in sorted(zones):
+            zone = zones[name]
+            zone_table.add_row(
+                name, zone.get("status", "?"), zone.get("ues", 0),
+                zone.get("jobs", 0), zone.get("completed", 0),
+                zone.get("failures", 0), zone.get("mean_response_s", 0.0),
+                zone.get("cost_usd", 0.0),
+            )
+        print(zone_table)
+    log = payload.get("log", [])
+    if log:
+        print("alert log:")
+        for line in log:
+            print(f"  {line}")
+    else:
+        print("alert log: empty (no SLO burn-rate rule fired)")
+    if args.prometheus:
+        print()
+        sys.stdout.write(fleet_health_to_prometheus(payload))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
     from repro.telemetry import report_from_file
 
+    try:
+        payload = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        # Unreadable/truncated inputs fall through to _load_artifact,
+        # which maps them to the usual one-line exit 2.
+        payload = None
+    if isinstance(payload, dict):
+        schema = payload.get("schema")
+        if schema == "repro.monitor.fleet/1":
+            return _report_fleet_health(args, payload)
+        if schema == "repro.fleet.sharded/1":
+            print(
+                f"error: {args.trace} is a merged fleet document with no "
+                "health rollups; re-run `repro fleet --health-out "
+                "health.json` and report on that file",
+                file=sys.stderr,
+            )
+            return 2
     run_report = _load_artifact(report_from_file, args.trace)
     print(run_report.render())
     if args.prometheus:
@@ -258,19 +402,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_diff(args: argparse.Namespace) -> int:
-    from repro.monitor.diff import diff_profiles, load_profile
-
-    before = _load_artifact(load_profile, args.before)
-    after = _load_artifact(load_profile, args.after)
-    try:
-        result = diff_profiles(before, after, threshold=args.threshold)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+def _render_diff(result, threshold: float, out: Optional[str] = None) -> int:
+    """Print a :class:`~repro.monitor.diff.TraceDiff`; returns exit code."""
     table = Table(
         ["metric", "before", "after", "delta", "rel %", "regressed"],
-        title=f"{result.kind} diff (threshold {args.threshold:.0%})",
+        title=f"{result.kind} diff (threshold {threshold:.0%})",
         precision=6,
     )
     for row in result.rows:
@@ -282,21 +418,34 @@ def cmd_diff(args: argparse.Namespace) -> int:
             "REGRESSED" if row.regressed else "",
         )
     print(table)
-    if args.out:
+    if out:
         import json
         from pathlib import Path
 
-        Path(args.out).write_text(
+        Path(out).write_text(
             json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n"
         )
-        print(f"diff written to {args.out}")
+        print(f"diff written to {out}")
     if result.ok:
         print("OK: no regressions above threshold.")
         return 0
     names = ", ".join(row.metric for row in result.regressions)
     print(f"REGRESSION: {len(result.regressions)} metric(s) worsened "
-          f">= {args.threshold:.0%}: {names}")
+          f">= {threshold:.0%}: {names}")
     return 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.monitor.diff import diff_profiles, load_profile
+
+    before = _load_artifact(load_profile, args.before)
+    after = _load_artifact(load_profile, args.after)
+    try:
+        result = diff_profiles(before, after, threshold=args.threshold)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _render_diff(result, args.threshold, out=args.out)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -356,7 +505,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             scenario=args.scenario, base=base, grid=grid, seeds=args.seeds
         )
     workers = args.workers if args.workers else (os.cpu_count() or 1)
-    runner = SweepRunner(spec, workers=workers, cache_dir=args.cache_dir)
+    progress = None
+    if args.progress:
+        def progress(update):
+            tag = "cached" if update.cached else "done"
+            print(
+                f"[sweep {update.completed}/{update.total}] {tag} "
+                f"{update.key[:72]} ({update.wall_s:.1f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+    runner = SweepRunner(
+        spec, workers=workers, cache_dir=args.cache_dir, progress=progress
+    )
     started = time.perf_counter()
     result = runner.run()
     wall_s = time.perf_counter() - started
@@ -376,6 +537,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     table.add_row("workers", workers)
     table.add_row("wall s", wall_s)
     print(table)
+    _ledger_record(
+        args,
+        command="sweep",
+        config=spec.to_dict(),
+        wall_s=wall_s,
+        metrics={
+            "cached": result.cached,
+            "configs": len(result),
+            "executed": result.executed,
+        },
+        artifacts=(args.out, args.manifest),
+    )
     return 0
 
 
@@ -395,6 +568,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         couple=args.couple,
         seed=args.seed,
     )
+    monitored = bool(args.monitor or args.health_out)
     spec = ShardedFleetSpec(
         topology=topology,
         app=args.app,
@@ -403,8 +577,29 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         slack_s=args.slack,
         keep_alive_s=args.keep_alive,
         sync_window_s=args.sync_window,
+        monitor=monitored,
+        chaos=args.chaos,
     )
     workers = args.workers if args.workers else (os.cpu_count() or 1)
+    progress = None
+    if args.progress:
+        def progress(update):
+            shard = "?"
+            events = 0
+            if isinstance(update.result, dict):
+                shard = update.result.get("shard", "?")
+                events = sum(
+                    group.get("sim_events", 0)
+                    for group in update.result.get("groups", ())
+                    if isinstance(group, dict)
+                )
+            tag = "cached" if update.cached else "done"
+            print(
+                f"[fleet {update.completed}/{update.total}] shard {shard} "
+                f"{tag}: {events} sim events ({update.wall_s:.1f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
     started = time.perf_counter()
     result = run_sharded(
         spec,
@@ -412,12 +607,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         workers=workers,
         split_coupled=args.split_coupled,
         cache_dir=args.cache_dir,
+        progress=progress,
     )
     wall_s = time.perf_counter() - started
 
     if args.out:
         Path(args.out).write_text(result.merged_json())
         print(f"merged fleet report written to {args.out}")
+    if args.health_out:
+        Path(args.health_out).write_text(result.health_json())
+        print(f"fleet health report written to {args.health_out}")
 
     aggregates = result.aggregates
     table = Table(["metric", "value"], title="Sharded fleet report",
@@ -437,10 +636,19 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     table.add_row("platform bill $", aggregates["platform_usd"])
     table.add_row("cold-start %", 100 * aggregates["cold_start_fraction"])
     table.add_row("sim events", aggregates["sim_events"])
+    if result.health is not None:
+        fleet_rollup = result.health["fleet"]
+        table.add_row("fleet status", fleet_rollup["status"])
+        table.add_row("alerts fired", fleet_rollup["alerts_fired"])
+        table.add_row("alerts active", fleet_rollup["alerts_active"])
     table.add_row("wall s", wall_s)
     if wall_s > 0:
         table.add_row("UEs / wall s", topology.total_ues / wall_s)
     print(table)
+    if result.health is not None and result.health["log"]:
+        print("alert log:")
+        for line in result.health["log"]:
+            print(f"  {line}")
     if result.error_bound is not None:
         bound = result.error_bound
         print(
@@ -450,7 +658,107 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             f"Δcost = {bound['total_cloud_cost_usd']:.1f} "
             f"(window {bound['window_s']:.0f}s)"
         )
+    metrics = {
+        "cold_start_fraction": aggregates["cold_start_fraction"],
+        "deadline_miss_rate": aggregates["deadline_miss_rate"],
+        "failures": aggregates["failures"],
+        "jobs_completed": aggregates["jobs_completed"],
+        "jobs_submitted": aggregates["jobs_submitted"],
+        "mean_response_s": aggregates["mean_response_s"],
+        "sim_events": aggregates["sim_events"],
+        "total_cloud_cost_usd": aggregates["total_cloud_cost_usd"],
+    }
+    if result.health is not None:
+        metrics["alerts_fired"] = result.health["fleet"]["alerts_fired"]
+        metrics["alerts_active"] = result.health["fleet"]["alerts_active"]
+        metrics["fleet_status"] = result.health["fleet"]["status"]
+    _ledger_record(
+        args,
+        command="fleet",
+        config={**spec.to_dict(), "n_shards": args.shards,
+                "split_coupled": bool(args.split_coupled)},
+        wall_s=wall_s,
+        metrics=metrics,
+        artifacts=(args.out, args.health_out),
+    )
     return 0 if not aggregates["failures"] else 1
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.ledger import (
+        diff_entries,
+        read_ledger,
+        render_entries,
+        resolve_ledger_path,
+    )
+
+    path = resolve_ledger_path(args.ledger)
+    if path is None:
+        print("error: ledger recording is disabled (empty path)",
+              file=sys.stderr)
+        return 2
+    entries = read_ledger(path)
+
+    if args.ledger_command == "show":
+        if not entries:
+            print(f"ledger {path}: no entries")
+            return 0
+        if args.index is not None:
+            index = args.index + len(entries) if args.index < 0 else args.index
+            if not 0 <= index < len(entries):
+                print(f"error: index {args.index} out of range "
+                      f"(ledger has {len(entries)} entries)", file=sys.stderr)
+                return 2
+            entry = entries[index]
+            import json
+
+            print(json.dumps(entry.to_dict(), sort_keys=True, indent=2))
+            return 0
+        indexed = list(enumerate(entries))
+        if args.filter_command:
+            indexed = [
+                (i, e) for i, e in indexed if e.command == args.filter_command
+            ]
+        if args.last:
+            indexed = indexed[-args.last:]
+        if not indexed:
+            print(f"ledger {path}: no matching entries")
+            return 0
+        if args.json:
+            from repro.sweep import canonical_json
+
+            for _, entry in indexed:
+                print(canonical_json(entry.to_dict()))
+            return 0
+        print(
+            render_entries(
+                [e for _, e in indexed], indices=[i for i, _ in indexed]
+            ),
+            end="",
+        )
+        return 0
+
+    # diff
+    def pick(token: str):
+        try:
+            index = int(token)
+        except ValueError:
+            raise SystemExit(f"ledger indices must be integers, got {token!r}")
+        resolved = index + len(entries) if index < 0 else index
+        if not 0 <= resolved < len(entries):
+            raise SystemExit(
+                f"index {token} out of range (ledger has "
+                f"{len(entries)} entries)"
+            )
+        return entries[resolved]
+
+    before, after = pick(args.before), pick(args.after)
+    try:
+        result = diff_entries(before, after, threshold=args.threshold)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _render_diff(result, args.threshold)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -530,8 +838,17 @@ def build_parser() -> argparse.ArgumentParser:
     plan = sub.add_parser("plan", help="compute partition + allocation")
     common(plan)
 
+    def ledger_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ledger", default=None,
+                       help="run-ledger JSONL path (default "
+                            ".repro_ledger.jsonl; REPRO_LEDGER env "
+                            "overrides; empty string disables)")
+        p.add_argument("--no-ledger", action="store_true",
+                       help="skip the run-ledger append for this invocation")
+
     run = sub.add_parser("run", help="run a workload end to end")
     common(run)
+    ledger_flags(run)
     run.add_argument("--jobs", type=int, default=5)
     run.add_argument("--spacing", type=float, default=60.0,
                      help="seconds between job releases")
@@ -629,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(byte-identical across worker counts)")
     sweep.add_argument("--manifest", default=None,
                        help="write the execution manifest JSON here")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print per-config completion heartbeats to "
+                            "stderr (completion order is nondeterministic)")
+    ledger_flags(sweep)
 
     fleet = sub.add_parser(
         "fleet",
@@ -672,6 +993,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged fleet report JSON here "
                             "(byte-identical across shard/worker counts "
                             "when the merge is exact)")
+    fleet.add_argument("--monitor", action="store_true",
+                       help="attach a monitor shard to every coupling "
+                            "group and merge the snapshots")
+    fleet.add_argument("--chaos", default="none",
+                       choices=["none", "uplink-outage", "uplink-degraded"],
+                       help="deterministic fault schedule injected into "
+                            "every UE's access link (default none)")
+    fleet.add_argument("--health-out", default=None,
+                       help="write the merged fleet health + alert-log "
+                            "report JSON here (implies --monitor; "
+                            "byte-identical across shard/worker counts "
+                            "when the merge is exact)")
+    fleet.add_argument("--progress", action="store_true",
+                       help="print per-shard completion heartbeats to "
+                            "stderr (completion order is nondeterministic)")
+    ledger_flags(fleet)
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect the append-only run ledger"
+    )
+    lsub = ledger.add_subparsers(dest="ledger_command", required=True)
+    show = lsub.add_parser("show", help="list recorded invocations")
+    show.add_argument("--ledger", default=None,
+                      help="ledger JSONL path (default .repro_ledger.jsonl; "
+                           "REPRO_LEDGER env overrides)")
+    show.add_argument("--last", type=int, default=0,
+                      help="only the last N matching entries")
+    show.add_argument("--command", dest="filter_command", default=None,
+                      help="only entries recorded by this command "
+                           "(run | sweep | fleet)")
+    show.add_argument("--index", type=int, default=None,
+                      help="print one entry in full (negative counts "
+                           "from the end)")
+    show.add_argument("--json", action="store_true",
+                      help="emit entries as canonical JSON lines")
+    ldiff = lsub.add_parser(
+        "diff", help="compare two entries' metrics, direction-aware"
+    )
+    ldiff.add_argument("before", help="baseline entry index "
+                                      "(negative counts from the end)")
+    ldiff.add_argument("after", help="candidate entry index")
+    ldiff.add_argument("--ledger", default=None,
+                       help="ledger JSONL path (default .repro_ledger.jsonl; "
+                            "REPRO_LEDGER env overrides)")
+    ldiff.add_argument("--threshold", type=float, default=0.05,
+                       help="relative worsening that counts as a "
+                            "regression (default 0.05 = 5%%)")
 
     return parser
 
@@ -680,6 +1048,7 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "fleet": cmd_fleet,
     "diff": cmd_diff,
+    "ledger": cmd_ledger,
     "list-apps": cmd_list_apps,
     "list-profiles": cmd_list_profiles,
     "plan": cmd_plan,
@@ -694,6 +1063,7 @@ COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    args.invocation_argv = list(argv) if argv is not None else sys.argv[1:]
     return COMMANDS[args.command](args)
 
 

@@ -60,11 +60,22 @@ loosens the bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.apps.jobs import Job
 from repro.core.controller import Environment
 from repro.device.ue import DeviceSpec, UserEquipment
+from repro.faults.injector import inject_faults
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultWindow
 from repro.fleet.fleet import FleetController, FleetEnvironment, FleetReport
 from repro.fleet.topology import (
     FleetTopology,
@@ -74,11 +85,21 @@ from repro.fleet.topology import (
     partition_topology,
 )
 from repro.metrics import MetricRegistry
+from repro.monitor.fleet import (
+    FLEET_HEALTH_SCHEMA,
+    FLEET_RULES,
+    FleetSLOEngine,
+    MonitorSnapshot,
+    merge_snapshots,
+)
+from repro.monitor.monitor import Monitor
+from repro.monitor.slo import SLO, BurnRateRule
 from repro.network.profiles import cloud_path, profile as connectivity_profile
 from repro.serverless.platform import PlatformConfig, ServerlessPlatform
 from repro.sim import Simulator
 from repro.sim.rng import SeedSequenceRegistry
-from repro.sweep import SweepRunner, SweepSpec, canonical_json
+from repro.sweep import SweepProgress, SweepRunner, SweepSpec, canonical_json
+from repro.telemetry.tracer import Tracer
 
 #: Version tag embedded in every merged document.
 SCHEMA = "repro.fleet.sharded/1"
@@ -107,6 +128,8 @@ class ShardedFleetSpec:
     slack_s: float = 3600.0
     keep_alive_s: float = 600.0
     sync_window_s: float = 600.0
+    monitor: bool = False
+    chaos: str = "none"
 
     def __post_init__(self) -> None:
         if self.input_mb < 0:
@@ -119,6 +142,11 @@ class ShardedFleetSpec:
             raise ValueError("keep_alive_s must be >= 0")
         if self.sync_window_s <= 0:
             raise ValueError("sync_window_s must be > 0")
+        if self.chaos not in FLEET_CHAOS:
+            raise ValueError(
+                f"unknown chaos schedule {self.chaos!r}; "
+                f"choose from {sorted(FLEET_CHAOS)}"
+            )
 
     @property
     def effective_sync_window_s(self) -> float:
@@ -136,6 +164,8 @@ class ShardedFleetSpec:
             "slack_s": self.slack_s,
             "keep_alive_s": self.keep_alive_s,
             "sync_window_s": self.sync_window_s,
+            "monitor": self.monitor,
+            "chaos": self.chaos,
         }
 
     @staticmethod
@@ -148,10 +178,87 @@ class ShardedFleetSpec:
             slack_s=float(data.get("slack_s", 3600.0)),
             keep_alive_s=float(data.get("keep_alive_s", 600.0)),
             sync_window_s=float(data.get("sync_window_s", 600.0)),
+            monitor=bool(data.get("monitor", False)),
+            chaos=str(data.get("chaos", "none")),
         )
 
 
+# -- chaos schedules --------------------------------------------------------
+
+
+def _chaos_uplink_outage(spec: "ShardedFleetSpec") -> FaultSchedule:
+    """Uplink dead from 20% to 55% of the release window.
+
+    Uploads released inside the window stall until it lifts, so their
+    durations blow past the stall threshold — the link-stall latency
+    SLO is the detector.  Link-only faults wrap each device's access
+    hop and never touch the shared platform, so the schedule is
+    identical under every shard layout.
+    """
+    return FaultSchedule([
+        FaultWindow(
+            FaultKind.LINK_OUTAGE,
+            0.20 * spec.window_s,
+            0.55 * spec.window_s,
+            target="uplink",
+        )
+    ])
+
+
+def _chaos_uplink_degraded(spec: "ShardedFleetSpec") -> FaultSchedule:
+    """Uplink at 25% rate from 20% to 70% of the release window."""
+    return FaultSchedule([
+        FaultWindow(
+            FaultKind.LINK_DEGRADED,
+            0.20 * spec.window_s,
+            0.70 * spec.window_s,
+            target="uplink",
+            magnitude=0.25,
+        )
+    ])
+
+
+#: Named chaos schedules a fleet spec may request.  All are link-only
+#: (the access hop is per-device), which keeps the injection independent
+#: of how zones are packed into shards.
+FLEET_CHAOS: Dict[str, Optional[Callable[["ShardedFleetSpec"], FaultSchedule]]]
+FLEET_CHAOS = {
+    "none": None,
+    "uplink-outage": _chaos_uplink_outage,
+    "uplink-degraded": _chaos_uplink_degraded,
+}
+
+
+def fleet_chaos_schedule(spec: "ShardedFleetSpec") -> Optional[FaultSchedule]:
+    """The fault schedule for ``spec.chaos`` (``None`` when fault-free)."""
+    builder = FLEET_CHAOS[spec.chaos]
+    return builder(spec) if builder is not None else None
+
+
 # -- per-group simulation ---------------------------------------------------
+
+
+def _monitor_horizon_s(spec: "ShardedFleetSpec") -> float:
+    """Series retention for fleet monitors: cover the whole run.
+
+    The stock monitor prunes buckets older than an hour; a fleet run
+    lasts ``window_s + slack_s`` plus tail latency, and the offline SLO
+    replay needs every bucket, so retention spans the run with an hour
+    of margin.
+    """
+    return spec.window_s + spec.slack_s + 3600.0
+
+
+def _group_label(names: Sequence[str]) -> str:
+    """Canonical entity label for a coupling group's shared platform."""
+    return "+".join(names)
+
+
+def _empty_snapshot(spec: "ShardedFleetSpec", names: Sequence[str]
+                    ) -> MonitorSnapshot:
+    return MonitorSnapshot(
+        zone=_group_label(names), horizon_s=_monitor_horizon_s(spec)
+    )
 
 
 def _app_factory(name: str):
@@ -262,11 +369,26 @@ def _simulate_group(
         # skip decision depends only on the group itself, so every
         # shard layout takes the same path.
         record["ues"] = _zero_ue_records(spec, zones)
+        if spec.monitor:
+            record["monitor"] = _empty_snapshot(spec, names).to_dict()
         return record
 
     app_factory = _app_factory(spec.app)
     sim = Simulator()
     metrics = MetricRegistry()
+    monitor: Optional[Monitor] = None
+    if spec.monitor:
+        # One monitor per coupling group: zones sharing a warm pool
+        # share fate, and spans carry no zone identity, so the group is
+        # the finest deterministic attribution unit.
+        sim.tracer = Tracer(sim)
+        monitor = Monitor(
+            sim,
+            zone=_group_label(names),
+            horizon_s=_monitor_horizon_s(spec),
+        )
+        sim.tracer.subscribe(monitor)
+    chaos = fleet_chaos_schedule(spec)
     platform_registry = SeedSequenceRegistry(
         derive_seed(topology.seed, "platform", *names)
     )
@@ -290,19 +412,23 @@ def _simulate_group(
             prof = connectivity_profile(preset)
             ue_spec = replace(DeviceSpec(), name=f"{zone.name}.ue{local}")
             ue = UserEquipment(sim, ue_spec, metrics=metrics)
-            devices.append(
-                Environment(
-                    sim=sim,
-                    ue=ue,
-                    platform=platform,
-                    uplink=cloud_path(sim, prof, uplink=True, metrics=metrics),
-                    downlink=cloud_path(
-                        sim, prof, uplink=False, metrics=metrics
-                    ),
-                    rng=zone_registry.fork(f"device{local}"),
-                    metrics=metrics,
-                )
+            device_env = Environment(
+                sim=sim,
+                ue=ue,
+                platform=platform,
+                uplink=cloud_path(sim, prof, uplink=True, metrics=metrics),
+                downlink=cloud_path(
+                    sim, prof, uplink=False, metrics=metrics
+                ),
+                rng=zone_registry.fork(f"device{local}"),
+                metrics=metrics,
             )
+            if chaos is not None:
+                # Link-only schedules wrap this device's access hop;
+                # the shared platform is untouched, so injection order
+                # across zones cannot matter.
+                inject_faults(device_env, chaos)
+            devices.append(device_env)
         env = FleetEnvironment(sim, platform, devices, zone_registry, metrics)
         fleet = FleetController(env, app_factory())
         fleet.profile_offline()
@@ -352,6 +478,11 @@ def _simulate_group(
     record["platform_usd"] = float(platform.total_cost)
     record["sim_events"] = sim.events_processed
     record["sim_end_s"] = float(sim.now)
+    if monitor is not None:
+        # A side channel like ``windows``: rides the shard result, is
+        # merged via merge_snapshots, and never enters the merged fleet
+        # document itself.
+        record["monitor"] = monitor.snapshot(end_s=float(sim.now)).to_dict()
 
     if topology.links:
         window_s = spec.effective_sync_window_s
@@ -589,17 +720,126 @@ def compute_error_bound(
     }
 
 
+# -- fleet health -----------------------------------------------------------
+
+
+def build_fleet_health(
+    spec: ShardedFleetSpec,
+    document: Mapping[str, Any],
+    snapshot: MonitorSnapshot,
+    slos: Optional[Sequence[SLO]] = None,
+    rules: Sequence[BurnRateRule] = FLEET_RULES,
+    eval_interval_s: float = 60.0,
+    rule_overrides: Optional[Mapping[str, Sequence[BurnRateRule]]] = None,
+) -> Dict[str, Any]:
+    """The merged fleet health document (schema ``repro.monitor.fleet/1``).
+
+    Composes the offline SLO replay over the merged snapshot
+    (:class:`~repro.monitor.fleet.FleetSLOEngine`) with per-zone rollups
+    derived from the merged fleet document.  A zone inherits the health
+    status of its coupling-group entity (the attribution unit — shared
+    warm pool, shared fate); numeric rollups come from its own UE
+    records.  Every fold walks zones and UEs in sorted order, so the
+    document is byte-deterministic whenever the inputs are.
+    """
+    engine = FleetSLOEngine(
+        snapshot,
+        slos=slos,
+        rules=rules,
+        eval_interval_s=eval_interval_s,
+        rule_overrides=rule_overrides,
+    )
+    engine_report = engine.report()
+    entity_health = engine_report["health"]
+
+    zones: Dict[str, Dict[str, Any]] = {}
+    for group in document["groups"]:
+        label = _group_label(group["zones"])
+        status = entity_health.get(
+            f"zone/{label}", {"status": "ok", "active_alerts": []}
+        )
+        for zone_name in group["zones"]:
+            ues = [u for u in group["ues"] if u["zone"] == zone_name]
+            responses = [r for u in ues for r in u["responses_s"]]
+            zones[zone_name] = {
+                "group": label,
+                "status": status["status"],
+                "active_alerts": list(status["active_alerts"]),
+                "ues": len(ues),
+                "jobs": sum(u["jobs"] for u in ues),
+                "completed": sum(u["completed"] for u in ues),
+                "failures": sum(u["failures"] for u in ues),
+                "deadline_misses": sum(u["misses"] for u in ues),
+                "mean_response_s": (
+                    sum(responses) / len(responses) if responses else 0.0
+                ),
+                "cost_usd": sum(u["cost_usd"] for u in ues),
+            }
+
+    statuses = [entry["status"] for entry in entity_health.values()]
+    fleet_status = (
+        "critical" if "critical" in statuses
+        else "degraded" if "degraded" in statuses
+        else "ok"
+    )
+    aggregates = document["aggregates"]
+    alerts_active = sum(1 for a in engine.alerts if a.cleared_at is None)
+    return {
+        "schema": FLEET_HEALTH_SCHEMA,
+        "spec": spec.to_dict(),
+        "fleet": {
+            "status": fleet_status,
+            "zones": len(zones),
+            "ues": spec.topology.total_ues,
+            "groups": len(document["groups"]),
+            "alerts_fired": len(engine.alerts),
+            "alerts_active": alerts_active,
+            "monitored_events": snapshot.total_events,
+        },
+        "counters": {
+            "jobs_submitted": aggregates["jobs_submitted"],
+            "jobs_completed": aggregates["jobs_completed"],
+            "failures": aggregates["failures"],
+            "cold_starts": aggregates["cold_starts"],
+            "invocations": aggregates["invocations"],
+            "platform_usd": aggregates["platform_usd"],
+            "total_cloud_cost_usd": aggregates["total_cloud_cost_usd"],
+        },
+        "zones": dict(sorted(zones.items())),
+        "entities": entity_health,
+        "evaluated_at": engine_report["evaluated_at"],
+        "eval_interval_s": engine_report["eval_interval_s"],
+        "slos": engine_report["slos"],
+        "alerts": engine_report["alerts"],
+        "log": engine_report["log"],
+        "stats": engine_report["stats"],
+    }
+
+
+def snapshots_from_group_records(
+    group_records: Sequence[Mapping[str, Any]],
+) -> List[MonitorSnapshot]:
+    """Deserialize every group record's monitor side channel."""
+    return [
+        MonitorSnapshot.from_dict(group["monitor"])
+        for group in group_records
+        if "monitor" in group
+    ]
+
+
 # -- drivers ----------------------------------------------------------------
 
 
 @dataclass
 class ShardedFleetResult:
-    """A sharded run: plan, merged document, and (if split) the bound."""
+    """A sharded run: plan, merged document, bound, and (if monitored)
+    the merged health document."""
 
     spec: ShardedFleetSpec
     plan: ShardPlan
     document: Dict[str, Any]
     error_bound: Optional[Dict[str, Any]] = None
+    health: Optional[Dict[str, Any]] = None
 
     @property
     def aggregates(self) -> Dict[str, Any]:
@@ -616,6 +856,26 @@ class ShardedFleetResult:
         :attr:`exact` holds."""
         return canonical_json(self.document) + "\n"
 
+    def health_json(self) -> str:
+        """Canonical JSON of the health document, newline-terminated.
+
+        Raises ``ValueError`` when the run was not monitored; byte
+        determinism matches :meth:`merged_json`.
+        """
+        if self.health is None:
+            raise ValueError(
+                "run was not monitored; set ShardedFleetSpec.monitor=True"
+            )
+        return canonical_json(self.health) + "\n"
+
+    @property
+    def alert_log(self) -> str:
+        """The merged fleet alert log ("" when unmonitored or quiet)."""
+        if self.health is None:
+            return ""
+        log = self.health["log"]
+        return "\n".join(log) + ("\n" if log else "")
+
 
 def run_sharded(
     spec: ShardedFleetSpec,
@@ -623,6 +883,7 @@ def run_sharded(
     workers: int = 1,
     split_coupled: bool = False,
     cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[SweepProgress], None]] = None,
 ) -> ShardedFleetResult:
     """Partition, fan the shards out, and merge deterministically.
 
@@ -630,7 +891,10 @@ def run_sharded(
     :class:`~repro.sweep.runner.SweepRunner` machinery (in-process when
     ``workers == 1``, a multiprocessing pool otherwise) — completion
     order cannot influence the merge, and a ``cache_dir`` turns repeat
-    runs of unchanged shards into cache hits.
+    runs of unchanged shards into cache hits.  ``progress`` receives one
+    :class:`~repro.sweep.runner.SweepProgress` per finished shard (live
+    heartbeats); when ``spec.monitor`` is set, the shard snapshots are
+    merged and the health document attached to the result.
     """
     plan = partition_topology(spec.topology, n_shards, split_coupled)
     spec_dict = spec.to_dict()
@@ -641,15 +905,25 @@ def run_sharded(
     sweep = SweepSpec(
         scenario="repro.fleet.sharded:shard_run", points=configs
     )
-    result = SweepRunner(sweep, workers=workers, cache_dir=cache_dir).run()
+    runner = SweepRunner(
+        sweep, workers=workers, cache_dir=cache_dir, progress=progress
+    )
+    result = runner.run()
     shard_results = result.results_for(configs)
     group_records = [
         group for shard in shard_results for group in shard["groups"]
     ]
     document = merge_group_records(spec, group_records)
     bound = compute_error_bound(spec, plan, group_records)
+    health = None
+    if spec.monitor:
+        merged_snapshot = merge_snapshots(
+            snapshots_from_group_records(group_records)
+        )
+        health = build_fleet_health(spec, document, merged_snapshot)
     return ShardedFleetResult(
-        spec=spec, plan=plan, document=document, error_bound=bound
+        spec=spec, plan=plan, document=document, error_bound=bound,
+        health=health,
     )
 
 
@@ -670,14 +944,38 @@ def reference_json(spec: ShardedFleetSpec) -> str:
     return canonical_json(reference_report(spec)) + "\n"
 
 
+def reference_health(spec: ShardedFleetSpec) -> Dict[str, Any]:
+    """The single-process reference health document.
+
+    Simulates every coupling group in-process (``spec.monitor`` must be
+    set), merges the snapshots, and builds the same health document as
+    :func:`run_sharded` — the differential baseline for fleet
+    observability byte-identity tests.
+    """
+    if not spec.monitor:
+        raise ValueError("reference_health requires spec.monitor=True")
+    records = [
+        _simulate_group(spec, group)
+        for group in spec.topology.coupling_groups()
+    ]
+    document = merge_group_records(spec, records)
+    merged = merge_snapshots(snapshots_from_group_records(records))
+    return build_fleet_health(spec, document, merged)
+
+
 __all__ = [
+    "FLEET_CHAOS",
     "SCHEMA",
     "ShardedFleetResult",
     "ShardedFleetSpec",
+    "build_fleet_health",
     "compute_error_bound",
+    "fleet_chaos_schedule",
     "merge_group_records",
+    "reference_health",
     "reference_json",
     "reference_report",
     "run_sharded",
     "shard_run",
+    "snapshots_from_group_records",
 ]

@@ -23,6 +23,16 @@ from repro.monitor.diff import (
     diff_profiles,
     load_profile,
 )
+from repro.monitor.fleet import (
+    FLEET_HEALTH_SCHEMA,
+    FLEET_RULES,
+    FleetSLOEngine,
+    MonitorSnapshot,
+    default_fleet_slos,
+    fleet_health_to_prometheus,
+    merge_snapshots,
+    restore_monitor,
+)
 from repro.monitor.monitor import Monitor, ObservedExecution, attach_monitor
 from repro.monitor.observed import ObservedDemandFeed, observations_from_history
 from repro.monitor.sketch import QuantileSketch
@@ -49,8 +59,12 @@ __all__ = [
     "CostSLO",
     "DEFAULT_RULES",
     "DiffRow",
+    "FLEET_HEALTH_SCHEMA",
+    "FLEET_RULES",
+    "FleetSLOEngine",
     "LatencySLO",
     "Monitor",
+    "MonitorSnapshot",
     "MonitoringPlane",
     "ObservedDemandFeed",
     "ObservedExecution",
@@ -62,8 +76,12 @@ __all__ = [
     "WindowedSeries",
     "attach_monitor",
     "attach_monitoring",
+    "default_fleet_slos",
     "diff_files",
     "diff_profiles",
+    "fleet_health_to_prometheus",
     "load_profile",
+    "merge_snapshots",
     "observations_from_history",
+    "restore_monitor",
 ]

@@ -10,7 +10,11 @@ them metric by metric:
   total cloud cost (from job spans) and wasted spend;
 * a **report** profile carries the saved summary scalars (jobs
   completed, failures, deadline-miss rate, mean response, energy,
-  cost).
+  cost);
+* a **fleet** profile (``repro fleet --out``) carries the merged
+  document's aggregates;
+* a **fleet-health** profile (``repro fleet --health-out``) carries the
+  counter rollups, alert counts, and per-zone health tallies.
 
 Each metric knows its good direction (``jobs_completed`` up, everything
 else down), so a *regression* is a worsening by at least
@@ -35,7 +39,14 @@ __all__ = [
 ]
 
 #: Metrics where a larger value is an improvement, not a regression.
-_HIGHER_IS_BETTER = frozenset({"jobs", "jobs_completed"})
+_HIGHER_IS_BETTER = frozenset(
+    {"jobs", "jobs_completed", "jobs_submitted", "zones_ok"}
+)
+
+#: Schema tags of the fleet artifacts (kept literal: importing the fleet
+#: layer from here would cycle through ``repro.monitor``'s package init).
+_FLEET_SCHEMA = "repro.fleet.sharded/1"
+_FLEET_HEALTH_SCHEMA = "repro.monitor.fleet/1"
 
 
 @dataclass(frozen=True)
@@ -110,12 +121,16 @@ def load_profile(path: Union[str, Path]) -> Profile:
     text = Path(path).read_text(encoding="utf-8")
     payload = json.loads(text)
     if not isinstance(payload, dict):
-        raise ValueError(f"{path}: not a trace or report file")
+        raise ValueError(f"{path}: not a trace, report, or fleet file")
     if "traceEvents" in payload:
         return _trace_profile(path)
     if "summary" in payload and payload.get("version") is not None:
         return _report_profile(path, payload)
-    raise ValueError(f"{path}: not a trace or report file")
+    if payload.get("schema") == _FLEET_SCHEMA:
+        return _fleet_profile(path, payload)
+    if payload.get("schema") == _FLEET_HEALTH_SCHEMA:
+        return _fleet_health_profile(path, payload)
+    raise ValueError(f"{path}: not a trace, report, or fleet file")
 
 
 def _trace_profile(path: Union[str, Path]) -> Profile:
@@ -150,6 +165,40 @@ def _report_profile(path: Union[str, Path], payload: Dict) -> Profile:
         if isinstance(value, (int, float)) and value is not None:
             out[name] = float(value)
     return Profile(kind="report", path=str(path), metrics=out)
+
+
+def _fleet_profile(path: Union[str, Path], payload: Dict) -> Profile:
+    aggregates = payload.get("aggregates")
+    if not isinstance(aggregates, dict):
+        raise ValueError(f"{path}: malformed fleet document (no aggregates)")
+    out = {
+        name: float(value)
+        for name, value in aggregates.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return Profile(kind="fleet", path=str(path), metrics=out)
+
+
+def _fleet_health_profile(path: Union[str, Path], payload: Dict) -> Profile:
+    out: Dict[str, float] = {}
+    for section in ("counters", "fleet"):
+        entries = payload.get(section, {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: malformed fleet health ({section})")
+        for name, value in entries.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[name] = float(value)
+    zones = payload.get("zones", {})
+    if isinstance(zones, dict):
+        for status in ("ok", "degraded", "critical"):
+            out[f"zones_{status}"] = float(
+                sum(
+                    1 for entry in zones.values()
+                    if entry.get("status") == status
+                )
+            )
+    out["log_lines"] = float(len(payload.get("log", ())))
+    return Profile(kind="fleet-health", path=str(path), metrics=out)
 
 
 def diff_profiles(

@@ -262,6 +262,17 @@ class Monitor:
             out[f"{kind}/{name}/{signal}"] = entry
         return out
 
+    def snapshot(self, end_s: Optional[float] = None) -> "Any":
+        """Freeze this monitor's state as a mergeable `MonitorSnapshot`.
+
+        ``end_s`` defaults to the clock's current time; it records how
+        far simulated time had advanced (needed to replay SLO
+        evaluation offline), which can exceed the last observation.
+        """
+        from repro.monitor.fleet import MonitorSnapshot
+
+        return MonitorSnapshot.capture(self, end_s=end_s)
+
 
 def attach_monitor(env: Any, monitor: Optional[Monitor] = None) -> Monitor:
     """Subscribe a (new) :class:`Monitor` to ``env``'s tracer.

@@ -22,7 +22,7 @@ sorted order, so two same-seed runs produce bit-identical answers.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 __all__ = ["QuantileSketch"]
 
@@ -85,6 +85,35 @@ class QuantileSketch:
         for sketch in sketches:
             out.merge(sketch)
         return out
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe state: alpha, zero count, bucket counts keyed by index.
+
+        Bucket keys are stringified ints (JSON object keys must be
+        strings); counts are exact ints, so a round trip through
+        canonical JSON is lossless and merge-compatible.
+        """
+        return {
+            "alpha": self.alpha,
+            "zero": self._zero_count,
+            "buckets": {str(i): self._buckets[i] for i in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        sketch = cls(alpha=float(data["alpha"]))  # type: ignore[arg-type]
+        sketch._zero_count = int(data.get("zero", 0))  # type: ignore[arg-type]
+        buckets: Mapping[str, int] = data.get("buckets", {})  # type: ignore[assignment]
+        for key in buckets:
+            count = int(buckets[key])
+            if count < 0:
+                raise ValueError(f"bucket counts must be >= 0: {key}={count}")
+            if count:
+                sketch._buckets[int(key)] = count
+        return sketch
 
     # -- querying ----------------------------------------------------------
 

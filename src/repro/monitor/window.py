@@ -149,6 +149,105 @@ class WindowedSeries:
         for index in [i for i in self._buckets if i < floor_index]:
             del self._buckets[index]
 
+    def merge(self, other: "WindowedSeries") -> None:
+        """Fold ``other`` into this series, bucket-index aligned.
+
+        Counts and value sums add, sketches merge, summed extras add and
+        maxed extras take the max — bucket by bucket, walked in sorted
+        index order so a fixed merge order yields byte-identical floats.
+        Bucket width and sketch alpha must match (the horizon is taken
+        as ``max`` of the two); no pruning happens here, so merging
+        disjoint shards never drops history the caller recorded.
+        """
+        if other.bucket_s != self.bucket_s:
+            raise ValueError(
+                f"cannot merge series with bucket_s {other.bucket_s} != "
+                f"{self.bucket_s}"
+            )
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge series with alpha {other.alpha} != {self.alpha}"
+            )
+        if other.horizon_s > self.horizon_s:
+            self.horizon_s = other.horizon_s
+        for index in sorted(other._buckets):
+            theirs = other._buckets[index]
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                bucket = self._buckets[index] = _Bucket(self.alpha)
+            bucket.count += theirs.count
+            bucket.bad += theirs.bad
+            bucket.value_sum += theirs.value_sum
+            bucket.sketch.merge(theirs.sketch)
+            for name in theirs.extras:
+                bucket.extras[name] = (
+                    bucket.extras.get(name, 0.0) + theirs.extras[name]
+                )
+            for name in theirs.extras_max:
+                prev = bucket.extras_max.get(name)
+                if prev is None or theirs.extras_max[name] > prev:
+                    bucket.extras_max[name] = theirs.extras_max[name]
+        self.total_count += other.total_count
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe state; bucket keys are stringified indices.
+
+        Extras maps are emitted key-sorted so the canonical JSON of two
+        equal series is byte-identical.
+        """
+        buckets: Dict[str, object] = {}
+        for index in sorted(self._buckets):
+            bucket = self._buckets[index]
+            entry: Dict[str, object] = {
+                "count": bucket.count,
+                "bad": bucket.bad,
+                "value_sum": bucket.value_sum,
+                "sketch": bucket.sketch.to_dict(),
+            }
+            if bucket.extras:
+                entry["extras"] = {
+                    k: bucket.extras[k] for k in sorted(bucket.extras)
+                }
+            if bucket.extras_max:
+                entry["extras_max"] = {
+                    k: bucket.extras_max[k] for k in sorted(bucket.extras_max)
+                }
+            buckets[str(index)] = entry
+        return {
+            "bucket_s": self.bucket_s,
+            "horizon_s": self.horizon_s,
+            "alpha": self.alpha,
+            "total_count": self.total_count,
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WindowedSeries":
+        """Rebuild a series from :meth:`to_dict` output."""
+        series = cls(
+            bucket_s=float(data["bucket_s"]),  # type: ignore[arg-type]
+            horizon_s=float(data["horizon_s"]),  # type: ignore[arg-type]
+            alpha=float(data["alpha"]),  # type: ignore[arg-type]
+        )
+        series.total_count = int(data.get("total_count", 0))  # type: ignore[arg-type]
+        buckets: Mapping[str, Mapping[str, object]]
+        buckets = data.get("buckets", {})  # type: ignore[assignment]
+        for key in buckets:
+            entry = buckets[key]
+            bucket = _Bucket(series.alpha)
+            bucket.count = int(entry["count"])  # type: ignore[arg-type]
+            bucket.bad = int(entry.get("bad", 0))  # type: ignore[arg-type]
+            bucket.value_sum = float(entry.get("value_sum", 0.0))  # type: ignore[arg-type]
+            bucket.sketch = QuantileSketch.from_dict(entry["sketch"])  # type: ignore[arg-type]
+            extras: Mapping[str, float] = entry.get("extras", {})  # type: ignore[assignment]
+            bucket.extras = {k: float(extras[k]) for k in extras}
+            extras_max: Mapping[str, float] = entry.get("extras_max", {})  # type: ignore[assignment]
+            bucket.extras_max = {k: float(extras_max[k]) for k in extras_max}
+            series._buckets[int(key)] = bucket
+        return series
+
     def aggregate(self, now: float, window_s: float) -> WindowAggregate:
         """Fold buckets intersecting ``(now - window_s, now]``.
 

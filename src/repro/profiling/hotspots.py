@@ -17,6 +17,7 @@ environment construction happen before the profiler is enabled.
 from __future__ import annotations
 
 import cProfile
+import gc
 import pstats
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -127,7 +128,9 @@ def profile_scenario(
     A cold first run profiles lazy imports and one-time cache fills that
     never recur; the warm run is both the steady-state cost picture and
     the thing that is reproducible whether or not the scenario has run
-    earlier in the same process.
+    earlier in the same process.  The cyclic garbage collector is
+    drained before the profiler starts and paused until it stops, so
+    finalizers of unrelated garbage cannot land inside the window.
     """
     ref = expand_scenario_ref(scenario)
     fn = resolve_scenario(ref)
@@ -135,10 +138,21 @@ def profile_scenario(
     if warmup:
         fn(dict(config))
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    value = fn(config)
-    profiler.disable()
+    # A cyclic-GC pass landing inside the profiled window runs Python
+    # finalizers of whatever unrelated garbage the process accumulated
+    # earlier, so its call counts would leak into the table.  Drain the
+    # collector first and keep it off while the profiler is enabled.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        value = fn(config)
+        profiler.disable()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     stats = pstats.Stats(profiler)
     rows = []

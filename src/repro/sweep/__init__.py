@@ -26,6 +26,7 @@ The same flow is exposed on the command line as ``python -m repro sweep``.
 from repro.sweep.runner import (
     DEFAULT_CACHE_DIR,
     SweepEntry,
+    SweepProgress,
     SweepResult,
     SweepRunner,
     run_sweep,
@@ -42,6 +43,7 @@ from repro.sweep.spec import (
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "SweepEntry",
+    "SweepProgress",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",

@@ -19,9 +19,20 @@ import json
 import multiprocessing
 import os
 import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.sweep.spec import (
     SweepSpec,
@@ -47,6 +58,25 @@ class SweepEntry:
     config: Dict[str, Any]
     result: Any
     cached: bool
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One live heartbeat: a config just finished (or hit the cache).
+
+    Fired in completion order — which is *not* deterministic across
+    worker counts — so heartbeats are for liveness display only and
+    never feed the merged document.  ``wall_s`` is wall-clock time since
+    the sweep started.
+    """
+
+    key: str
+    config: Dict[str, Any]
+    result: Any
+    completed: int
+    total: int
+    cached: bool
+    wall_s: float
 
 
 class SweepResult:
@@ -146,6 +176,11 @@ class SweepRunner:
     cache_dir:
         Directory for the per-config result cache; ``None`` disables
         caching entirely.
+    progress:
+        Optional callback fired with a :class:`SweepProgress` as each
+        config completes (cache hits fire immediately).  Completion
+        order is nondeterministic under a pool; the callback must not
+        raise and must not influence results.
     """
 
     def __init__(
@@ -153,20 +188,43 @@ class SweepRunner:
         spec: SweepSpec,
         workers: int = 1,
         cache_dir: Optional[str | Path] = None,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.spec = spec
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.progress = progress
 
     def run(self) -> SweepResult:
         """Execute every non-cached config and return the merged result."""
+        started = time.perf_counter()
         ref = self.spec.scenario_name
         keyed = [
             (config_key(config), config_hash(ref, config), config)
             for config in self.spec.expand()
         ]
+        total = len(keyed)
+        config_by_key = {key: config for key, _, config in keyed}
+        completed = 0
+
+        def _notify(key: str, result: Any, cached: bool) -> None:
+            nonlocal completed
+            completed += 1
+            if self.progress is not None:
+                self.progress(
+                    SweepProgress(
+                        key=key,
+                        config=config_by_key[key],
+                        result=result,
+                        completed=completed,
+                        total=total,
+                        cached=cached,
+                        wall_s=time.perf_counter() - started,
+                    )
+                )
+
         results: Dict[str, Any] = {}
         cached_keys: set[str] = set()
         pending: List[Tuple[str, str, Dict[str, Any]]] = []
@@ -175,11 +233,16 @@ class SweepRunner:
             if hit is not _MISS:
                 results[key] = hit
                 cached_keys.add(key)
+                _notify(key, hit, True)
             else:
                 pending.append((key, digest, config))
 
         if pending:
-            fresh = self._execute(ref, [config for _, _, config in pending])
+            fresh = self._execute(
+                ref,
+                [config for _, _, config in pending],
+                on_result=lambda key, result: _notify(key, result, False),
+            )
             for key, digest, config in pending:
                 results[key] = fresh[key]
                 self._cache_store(digest, config, fresh[key])
@@ -199,16 +262,20 @@ class SweepRunner:
     # -- execution ---------------------------------------------------------
 
     def _execute(
-        self, ref: str, configs: List[Dict[str, Any]]
+        self,
+        ref: str,
+        configs: List[Dict[str, Any]],
+        on_result: Optional[Callable[[str, Any], None]] = None,
     ) -> Dict[str, Any]:
         if self.workers == 1 or len(configs) == 1:
             scenario = resolve_scenario(self.spec.scenario)
-            return {
-                config_key(config): json.loads(
-                    canonical_json(scenario(dict(config)))
-                )
-                for config in configs
-            }
+            out: Dict[str, Any] = {}
+            for config in configs:
+                key = config_key(config)
+                out[key] = json.loads(canonical_json(scenario(dict(config))))
+                if on_result is not None:
+                    on_result(key, out[key])
+            return out
         if callable(self.spec.scenario) and not isinstance(self.spec.scenario, str):
             # Re-resolvable by name in the worker; the ref was validated
             # by scenario_ref, but a lambda/closure would not import.
@@ -223,10 +290,12 @@ class SweepRunner:
         ) as pool:
             # imap_unordered keeps workers saturated; keying by canonical
             # config key makes the collection order-independent.
-            return {
-                key: json.loads(text)
-                for key, text in pool.imap_unordered(_run_point, tasks)
-            }
+            out = {}
+            for key, text in pool.imap_unordered(_run_point, tasks):
+                out[key] = json.loads(text)
+                if on_result is not None:
+                    on_result(key, out[key])
+            return out
 
     # -- cache -------------------------------------------------------------
 
@@ -264,14 +333,18 @@ def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     cache_dir: Optional[str | Path] = None,
+    progress: Optional[Callable[[SweepProgress], None]] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(spec, workers=workers, cache_dir=cache_dir).run()
+    return SweepRunner(
+        spec, workers=workers, cache_dir=cache_dir, progress=progress
+    ).run()
 
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "SweepEntry",
+    "SweepProgress",
     "SweepResult",
     "SweepRunner",
     "run_sweep",

@@ -6,7 +6,13 @@ results reproducible — the same discipline the simulators themselves
 follow.
 """
 
+import os
+
 from hypothesis import HealthCheck, settings
+
+# Keep the suite hermetic: no test should append to a real run ledger
+# unless it opts in with an explicit --ledger path (which overrides this).
+os.environ.setdefault("REPRO_LEDGER", "")
 
 settings.register_profile(
     "repro",

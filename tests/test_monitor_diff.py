@@ -34,11 +34,11 @@ class TestLoadProfile:
     def test_wrong_shape_raises_valueerror(self, tmp_path):
         path = tmp_path / "list.json"
         path.write_text("[1, 2, 3]", encoding="utf-8")
-        with pytest.raises(ValueError, match="not a trace or report"):
+        with pytest.raises(ValueError, match="not a trace, report, or fleet"):
             load_profile(path)
         path2 = tmp_path / "other.json"
         path2.write_text('{"hello": "world"}', encoding="utf-8")
-        with pytest.raises(ValueError, match="not a trace or report"):
+        with pytest.raises(ValueError, match="not a trace, report, or fleet"):
             load_profile(path2)
 
     def test_report_profile_keeps_numeric_summary_fields(self, tmp_path):

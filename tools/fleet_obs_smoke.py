@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fleet observability smoke check (CI gate).
+
+Runs a coupled 4-zone fleet three ways and asserts the observability
+contract end to end:
+
+* **fault-free, 2 shards** — the merged health document must report
+  every zone ``ok`` with an empty alert log (a quiet fleet must not
+  page);
+* **uplink-outage chaos, 1 shard vs 2 shards** — the merged health
+  document and alert log must be byte-identical across shard counts,
+  and the ``uplink-stall`` SLO must both fire and clear.
+
+The chaos run's health report is written as JSON for artifact upload.
+Exits non-zero on any violated expectation.
+
+Usage::
+
+    PYTHONPATH=src python tools/fleet_obs_smoke.py [health.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.sharded import ShardedFleetSpec, run_sharded  # noqa: E402
+from repro.fleet.topology import FleetTopology  # noqa: E402
+
+
+def build_spec(chaos: str) -> ShardedFleetSpec:
+    topology = FleetTopology.uniform(
+        n_zones=4,
+        ues_per_zone=2,
+        connectivity="4g",
+        jobs_per_ue=1,
+        couple="pairs",
+        seed=0,
+    )
+    return ShardedFleetSpec(
+        topology=topology,
+        window_s=600.0,
+        slack_s=1200.0,
+        monitor=True,
+        chaos=chaos,
+    )
+
+
+def main(argv: list) -> int:
+    out_path = Path(argv[0]) if argv else Path("/tmp/fleet_health.json")
+    failures = []
+
+    quiet = run_sharded(build_spec("none"), n_shards=2)
+    health = quiet.health
+    assert health is not None
+    if quiet.alert_log != "" or health["fleet"]["status"] != "ok":
+        failures.append(
+            f"fault-free fleet is not quiet: status="
+            f"{health['fleet']['status']} log:\n{quiet.alert_log}"
+        )
+    print(
+        f"fault-free: jobs={health['counters']['jobs_completed']} "
+        f"alerts={health['fleet']['alerts_fired']} (want 0)"
+    )
+
+    one = run_sharded(build_spec("uplink-outage"), n_shards=1)
+    two = run_sharded(build_spec("uplink-outage"), n_shards=2, workers=2)
+    if one.health_json() != two.health_json():
+        failures.append(
+            "chaos health document differs between 1 and 2 shards"
+        )
+    if one.alert_log != two.alert_log:
+        failures.append("chaos alert log differs between 1 and 2 shards")
+    log = one.alert_log
+    if "FIRING slo=uplink-stall" not in log:
+        failures.append(f"uplink-stall SLO did not fire; log:\n{log}")
+    if "CLEARED slo=uplink-stall" not in log:
+        failures.append(f"uplink-stall SLO did not clear; log:\n{log}")
+    print(
+        f"chaos: alerts={one.health['fleet']['alerts_fired']} "
+        f"log_lines={len(one.health['log'])} shards 1==2: "
+        f"{one.health_json() == two.health_json()}"
+    )
+
+    out_path.write_text(one.health_json(), encoding="utf-8")
+    print(f"fleet health report written to {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("fleet observability smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

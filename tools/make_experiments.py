@@ -81,6 +81,7 @@ def build_sections():
     from bench_f7_fleet import figure_f7, run_f7
     from bench_f8_ntc_stack import run_f8
     from bench_f10_sharding import run_f10
+    from bench_f11_fleet_obs import run_f11
     from bench_f9_pareto import run_f9
     from bench_a1_partitioner_ablation import run_a1
     from bench_a2_demand_ablation import run_a2
@@ -264,6 +265,20 @@ def build_sections():
             "UEs-simulated-per-wall-second with worker processes on "
             "multi-core hosts.  (The speedup column is only meaningful "
             "on ≥4 cores; single-core CI shows pool overhead instead.)",
+        ),
+        (
+            "F11", "Fleet observability under chaos",
+            "Monitoring a sharded fleet must not reintroduce layout "
+            "sensitivity: merged SLO rollups and the alert log are the "
+            "same bytes no matter how the fleet was partitioned.",
+            single(run_f11),
+            "**Verdict ✅** — the merged health document is byte-identical "
+            "at 1, 2, and 4 shards with the R1-style uplink-outage "
+            "schedule active; the outage pages the uplink-stall SLO "
+            "(FIRING then CLEARED on the merged stream) while the "
+            "fault-free fleet stays all-ok with an empty alert log, and "
+            "the monitor shard's overhead stays a small constant factor "
+            "of the unmonitored run.",
         ),
         (
             "F8", "The non-time-critical stack (capstone)",
