@@ -10,7 +10,7 @@ Exposes the library's main flows without writing code::
     python -m repro sweep --grid '{"connectivity": ["3g", "4g"]}' \\
                           --seeds 3 --workers 4 --out merged.json
     python -m repro fleet --zones 8 --shards 4 --chaos uplink-outage \\
-                          --health-out health.json
+                          --remediate --health-out health.json
     python -m repro diff baseline_trace.json candidate_trace.json
     python -m repro ledger show --last 5
 
@@ -89,6 +89,7 @@ def _ledger_record(
     wall_s: float,
     metrics=None,
     artifacts=(),
+    status: str = "ok",
 ) -> None:
     """Append one run-ledger entry (best-effort, never fatal)."""
     if getattr(args, "no_ledger", False):
@@ -105,6 +106,7 @@ def _ledger_record(
         metrics=metrics,
         artifacts=[str(a) for a in artifacts if a],
         argv=getattr(args, "invocation_argv", []),
+        status=status,
     )
     try:
         index = append_entry(path, entry)
@@ -112,9 +114,35 @@ def _ledger_record(
         print(f"warning: ledger append failed: {error}", file=sys.stderr)
         return
     print(
-        f"ledger: entry #{index} ({entry.config_sha256[:12]}) -> {path}",
+        f"ledger: entry #{index} ({entry.config_sha256[:12]}, "
+        f"{entry.status}) -> {path}",
         file=sys.stderr,
     )
+
+
+def _ledger_guard(args: argparse.Namespace, command: str, config, started):
+    """Context manager recording a ``status: error`` ledger entry when the
+    guarded command body dies mid-flight, so crashed runs still leave a
+    trace in the experiment trajectory.  The exception propagates."""
+    import contextlib
+    import time
+
+    @contextlib.contextmanager
+    def guard():
+        try:
+            yield
+        except Exception as error:
+            _ledger_record(
+                args,
+                command=command,
+                config=config,
+                wall_s=time.perf_counter() - started,
+                metrics={"error": type(error).__name__},
+                status="error",
+            )
+            raise
+
+    return guard()
 
 
 def cmd_list_apps(_args: argparse.Namespace) -> int:
@@ -157,11 +185,25 @@ def _build_controller(args: argparse.Namespace) -> OffloadController:
         connectivity=args.connectivity,
         with_storage=getattr(args, "with_storage", False),
     )
-    if getattr(args, "trace", None):
-        # Attach before planning so the plan span is captured too.
+    remediate = bool(getattr(args, "remediate", False))
+    if getattr(args, "trace", None) or remediate:
+        # Attach before planning so the plan span is captured too (the
+        # remediation monitor needs a recording tracer either way).
         from repro.telemetry import attach_tracer
 
         attach_tracer(env)
+    degradation = None
+    if remediate:
+        # Remediation drives the degradation knobs, so the controller
+        # needs the policy object to act on; hedging starts disabled and
+        # is escalated by the engine on availability burn.
+        from repro.faults.policy import DegradationPolicy
+
+        degradation = DegradationPolicy(
+            outage_aware_backoff=True,
+            hedge_after_s=None,
+            fallback_local=True,
+        )
     controller = OffloadController(
         env,
         _resolve_app(args.app),
@@ -169,6 +211,7 @@ def _build_controller(args: argparse.Namespace) -> OffloadController:
             getattr(args, "scheduler", "eager"), getattr(args, "window", 300.0)
         ),
         weights=_resolve_weights(args.weights),
+        degradation=degradation,
     )
     controller.profile_offline()
     controller.plan(input_mb=args.input_mb)
@@ -204,8 +247,37 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     import time
 
+    if args.actions_out and not args.remediate:
+        raise SystemExit("--actions-out requires --remediate")
     started = time.perf_counter()
+    config = {
+        "app": args.app,
+        "connectivity": args.connectivity,
+        "input_mb": args.input_mb,
+        "jobs": args.jobs,
+        "remediate": bool(args.remediate),
+        "scheduler": args.scheduler,
+        "seed": args.seed,
+        "slack": args.slack,
+        "spacing": args.spacing,
+        "weights": args.weights,
+        "window": args.window,
+        "with_storage": bool(args.with_storage),
+        "workload": args.workload,
+    }
+    with _ledger_guard(args, "run", config, started):
+        return _cmd_run_body(args, config, started)
+
+
+def _cmd_run_body(args: argparse.Namespace, config, started) -> int:
+    import time
+
     controller = _build_controller(args)
+    plane = None
+    if args.remediate:
+        from repro.remediate import attach_remediation
+
+        plane = attach_remediation(controller.env, [controller])
     if args.workload:
         from repro.traces.replay import load_workload
 
@@ -234,6 +306,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             for i in range(args.jobs)
         ]
     report = controller.run_workload(jobs)
+    if plane is not None:
+        plane.engine.finalize(float(controller.env.sim.now))
     if args.trace:
         from repro.telemetry import write_chrome_trace
 
@@ -266,33 +340,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         "cold-start %",
         100 * controller.env.platform.cold_start_fraction(),
     )
+    if plane is not None:
+        table.add_row("alerts fired", len(plane.engine.alerts))
+        table.add_row("actions applied", len(plane.remediation.actions))
     print(table)
+    if plane is not None:
+        if plane.remediation.log:
+            print("action log:")
+            for line in plane.remediation.log:
+                print(f"  {line}")
+        else:
+            print("action log: empty (no remediation action applied)")
+        if args.actions_out:
+            from pathlib import Path
+
+            Path(args.actions_out).write_text(
+                plane.remediation.action_log()
+            )
+            print(f"action log written to {args.actions_out}")
+    metrics = {
+        "deadline_miss_rate": report.deadline_miss_rate,
+        "failures": len(report.failures),
+        "jobs_completed": report.jobs_completed,
+        "mean_response_s": report.mean_response_s,
+        "total_cloud_cost_usd": report.total_cloud_cost_usd,
+    }
+    if plane is not None:
+        metrics["actions_applied"] = len(plane.remediation.actions)
+        metrics["alerts_fired"] = len(plane.engine.alerts)
     _ledger_record(
         args,
         command="run",
-        config={
-            "app": args.app,
-            "connectivity": args.connectivity,
-            "input_mb": args.input_mb,
-            "jobs": args.jobs,
-            "scheduler": args.scheduler,
-            "seed": args.seed,
-            "slack": args.slack,
-            "spacing": args.spacing,
-            "weights": args.weights,
-            "window": args.window,
-            "with_storage": bool(args.with_storage),
-            "workload": args.workload,
-        },
+        config=config,
         wall_s=time.perf_counter() - started,
-        metrics={
-            "deadline_miss_rate": report.deadline_miss_rate,
-            "failures": len(report.failures),
-            "jobs_completed": report.jobs_completed,
-            "mean_response_s": report.mean_response_s,
-            "total_cloud_cost_usd": report.total_cloud_cost_usd,
-        },
-        artifacts=(args.trace, args.save_report),
+        metrics=metrics,
+        artifacts=(args.trace, args.save_report, args.actions_out),
     )
     return 0 if not report.failures else 1
 
@@ -518,8 +600,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     runner = SweepRunner(
         spec, workers=workers, cache_dir=args.cache_dir, progress=progress
     )
+    config = spec.to_dict()
     started = time.perf_counter()
-    result = runner.run()
+    with _ledger_guard(args, "sweep", config, started):
+        result = runner.run()
     wall_s = time.perf_counter() - started
 
     if args.out:
@@ -540,7 +624,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _ledger_record(
         args,
         command="sweep",
-        config=spec.to_dict(),
+        config=config,
         wall_s=wall_s,
         metrics={
             "cached": result.cached,
@@ -553,13 +637,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    import os
     import time
-    from pathlib import Path
 
-    from repro.fleet.sharded import ShardedFleetSpec, run_sharded
+    from repro.fleet.sharded import ShardedFleetSpec
     from repro.fleet.topology import FleetTopology
 
+    if args.actions_out and not args.remediate:
+        raise SystemExit("--actions-out requires --remediate")
     topology = FleetTopology.uniform(
         n_zones=args.zones,
         ues_per_zone=args.ues_per_zone,
@@ -568,7 +652,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         couple=args.couple,
         seed=args.seed,
     )
-    monitored = bool(args.monitor or args.health_out)
+    monitored = bool(args.monitor or args.health_out or args.remediate)
     spec = ShardedFleetSpec(
         topology=topology,
         app=args.app,
@@ -579,7 +663,22 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         sync_window_s=args.sync_window,
         monitor=monitored,
         chaos=args.chaos,
+        remediate=bool(args.remediate),
     )
+    config = {**spec.to_dict(), "n_shards": args.shards,
+              "split_coupled": bool(args.split_coupled)}
+    started = time.perf_counter()
+    with _ledger_guard(args, "fleet", config, started):
+        return _cmd_fleet_body(args, topology, spec, config, started)
+
+
+def _cmd_fleet_body(args, topology, spec, config, started) -> int:
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.fleet.sharded import run_sharded
+
     workers = args.workers if args.workers else (os.cpu_count() or 1)
     progress = None
     if args.progress:
@@ -600,7 +699,6 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                 file=sys.stderr,
                 flush=True,
             )
-    started = time.perf_counter()
     result = run_sharded(
         spec,
         n_shards=args.shards,
@@ -641,6 +739,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         table.add_row("fleet status", fleet_rollup["status"])
         table.add_row("alerts fired", fleet_rollup["alerts_fired"])
         table.add_row("alerts active", fleet_rollup["alerts_active"])
+    if spec.remediate:
+        table.add_row(
+            "actions applied", len(result.health.get("actions", []))
+        )
     table.add_row("wall s", wall_s)
     if wall_s > 0:
         table.add_row("UEs / wall s", topology.total_ues / wall_s)
@@ -649,6 +751,17 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print("alert log:")
         for line in result.health["log"]:
             print(f"  {line}")
+    if spec.remediate:
+        action_lines = result.health.get("actions", [])
+        if action_lines:
+            print("action log:")
+            for line in action_lines:
+                print(f"  {line}")
+        else:
+            print("action log: empty (no remediation action applied)")
+        if args.actions_out:
+            Path(args.actions_out).write_text(result.action_log)
+            print(f"action log written to {args.actions_out}")
     if result.error_bound is not None:
         bound = result.error_bound
         print(
@@ -672,14 +785,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         metrics["alerts_fired"] = result.health["fleet"]["alerts_fired"]
         metrics["alerts_active"] = result.health["fleet"]["alerts_active"]
         metrics["fleet_status"] = result.health["fleet"]["status"]
+    if spec.remediate:
+        metrics["actions_applied"] = len(result.health.get("actions", []))
     _ledger_record(
         args,
         command="fleet",
-        config={**spec.to_dict(), "n_shards": args.shards,
-                "split_coupled": bool(args.split_coupled)},
+        config=config,
         wall_s=wall_s,
         metrics=metrics,
-        artifacts=(args.out, args.health_out),
+        artifacts=(args.out, args.health_out, args.actions_out),
     )
     return 0 if not aggregates["failures"] else 1
 
@@ -867,6 +981,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None,
                      help="write a Chrome trace-event JSON of the run "
                           "(load in Perfetto, or feed to `repro report`)")
+    run.add_argument("--remediate", action="store_true",
+                     help="attach the closed-loop remediation plane: "
+                          "live SLO alerts and goodput forecasts drive "
+                          "hedging, memory, traffic-shift, and fallback "
+                          "actions during the run")
+    run.add_argument("--actions-out", default=None,
+                     help="write the canonical remediation action log "
+                          "here (requires --remediate)")
 
     report = sub.add_parser(
         "report", help="print phase attribution for a saved trace"
@@ -1005,6 +1127,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "report JSON here (implies --monitor; "
                             "byte-identical across shard/worker counts "
                             "when the merge is exact)")
+    fleet.add_argument("--remediate", action="store_true",
+                       help="attach a closed-loop remediation engine to "
+                            "every coupling group (implies --monitor); "
+                            "the merged action log is byte-identical "
+                            "across shard/worker counts")
+    fleet.add_argument("--actions-out", default=None,
+                       help="write the merged remediation action log "
+                            "here (requires --remediate)")
     fleet.add_argument("--progress", action="store_true",
                        help="print per-shard completion heartbeats to "
                             "stderr (completion order is nondeterministic)")

@@ -377,6 +377,33 @@ class OffloadController:
         #: planning mid-outage uses the estimator's memory instead of an
         #: unusable instantaneous zero.
         self._last_rates: Dict[str, float] = {}
+        #: Remediation seams (driven by :mod:`repro.remediate`): jobs
+        #: dispatched before ``_hold_local_until`` run fully local
+        #: regardless of the current partition; ``plan_rate_overrides``
+        #: pins planning link rates to a forecast instead of the
+        #: estimator; ``memory_floor_mb`` floors deployed function sizes.
+        self._hold_local_until: float = 0.0
+        self.plan_rate_overrides: Dict[str, float] = {}
+        self.memory_floor_mb: float = 0.0
+
+    @property
+    def planned_input_mb(self) -> float:
+        """The input size the current plan was computed for."""
+        return self._planned_input_mb
+
+    def hold_local(self, until: float) -> bool:
+        """Route jobs dispatched before sim time ``until`` fully local.
+
+        The partition itself is untouched (planning state survives), but
+        :meth:`_job_body` snapshots a local-only partition for any job
+        whose execution starts inside the hold window — the
+        shift-traffic remediation action.  Returns True when the window
+        actually extended (False lets the caller skip a no-op log line).
+        """
+        if until <= self._hold_local_until:
+            return False
+        self._hold_local_until = until
+        return True
 
     # -- planning --------------------------------------------------------
 
@@ -413,7 +440,15 @@ class OffloadController:
         goodput measured from completed transfers is preferred; the
         legacy estimator only bootstraps planning before any transfer
         has been observed.
+
+        A remediation rate override (a short-horizon forecast of the
+        link's goodput) takes precedence over every other source: the
+        whole point of proactive re-planning is to price the *predicted*
+        rate before the estimator has caught up.
         """
+        override = self.plan_rate_overrides.get(key)
+        if override is not None and override > 0:
+            return override
         if self.observed_signals and self.monitor is not None:
             observed = self.monitor.link_rate(key, self.env.sim.now)
             if observed is not None and observed > 0:
@@ -501,7 +536,7 @@ class OffloadController:
             spec = self.app.component(component)
             fn = FunctionSpec(
                 name=self._function_name(component),
-                memory_mb=decision.memory_mb,
+                memory_mb=max(decision.memory_mb, self.memory_floor_mb),
                 package_mb=spec.package_mb,
                 parallel_fraction=spec.parallel_fraction,
             )
@@ -642,6 +677,13 @@ class OffloadController:
 
         assert self.partition is not None
         partition = self.partition
+        if sim.now < self._hold_local_until:
+            # Shift-traffic remediation: the zone (or its uplink) is
+            # burning, so this job runs fully local.  Snapshotting the
+            # override here keeps component and edge processes coherent
+            # for the whole job, exactly like the normal partition
+            # snapshot below.
+            partition = Partition.local_only(self.app)
         app = self.app
         energy_j = 0.0
         energy_breakdown: Dict[str, float] = {}

@@ -130,8 +130,11 @@ class ShardedFleetSpec:
     sync_window_s: float = 600.0
     monitor: bool = False
     chaos: str = "none"
+    remediate: bool = False
 
     def __post_init__(self) -> None:
+        if self.remediate and not self.monitor:
+            raise ValueError("remediate=True requires monitor=True")
         if self.input_mb < 0:
             raise ValueError("input_mb must be >= 0")
         if self.window_s <= 0:
@@ -166,6 +169,7 @@ class ShardedFleetSpec:
             "sync_window_s": self.sync_window_s,
             "monitor": self.monitor,
             "chaos": self.chaos,
+            "remediate": self.remediate,
         }
 
     @staticmethod
@@ -180,6 +184,7 @@ class ShardedFleetSpec:
             sync_window_s=float(data.get("sync_window_s", 600.0)),
             monitor=bool(data.get("monitor", False)),
             chaos=str(data.get("chaos", "none")),
+            remediate=bool(data.get("remediate", False)),
         )
 
 
@@ -371,6 +376,8 @@ def _simulate_group(
         record["ues"] = _zero_ue_records(spec, zones)
         if spec.monitor:
             record["monitor"] = _empty_snapshot(spec, names).to_dict()
+        if spec.remediate:
+            record["actions"] = []
         return record
 
     app_factory = _app_factory(spec.app)
@@ -432,10 +439,58 @@ def _simulate_group(
         env = FleetEnvironment(sim, platform, devices, zone_registry, metrics)
         fleet = FleetController(env, app_factory())
         fleet.profile_offline()
+        if spec.remediate:
+            # Remediated fleets run with the degradation responses armed
+            # (the knobs the remediation engine escalates).  Hedging
+            # stays off until an alert turns it on.
+            from repro.faults.policy import DegradationPolicy
+
+            for controller in fleet.controllers:
+                controller.degradation = DegradationPolicy(
+                    outage_aware_backoff=True,
+                    hedge_after_s=None,
+                    fallback_local=True,
+                )
         fleet.plan(input_mb=spec.input_mb)
         app = fleet.app
         base = topology.ue_base(zone.name)
         fleets.append((zone, fleet, _zone_jobs(spec, zone, app, base, total_ues)))
+
+    remediation = None
+    if spec.remediate:
+        # One live engine + remediation loop per coupling group: the
+        # group is the atomic sim unit, so its action log depends only
+        # on the group itself — never on the shard layout around it.
+        from repro.monitor.fleet import (
+            default_fleet_rule_overrides,
+            live_fleet_slos,
+        )
+        from repro.monitor.slo import SLOEngine
+        from repro.remediate import (
+            ControllerActuator,
+            LinkForecaster,
+            RemediationEngine,
+        )
+
+        assert monitor is not None
+        slos = live_fleet_slos(_group_label(names))
+        engine = SLOEngine(
+            monitor,
+            slos,
+            rules=FLEET_RULES,
+            eval_interval_s=60.0,
+            rule_overrides=default_fleet_rule_overrides(slos),
+        )
+        engine.attach(sim)
+        remediation = RemediationEngine(
+            engine,
+            ControllerActuator(
+                [c for _zone, fleet, _jobs in fleets
+                 for c in fleet.controllers]
+            ),
+            forecasters=(LinkForecaster(monitor),),
+        )
+        remediation.attach(sim)
 
     launched = []
     drivers = []
@@ -483,6 +538,12 @@ def _simulate_group(
         # merged via merge_snapshots, and never enters the merged fleet
         # document itself.
         record["monitor"] = monitor.snapshot(end_s=float(sim.now)).to_dict()
+    if remediation is not None:
+        # Also a side channel: per-group action-log lines, concatenated
+        # in group order at merge time.  The live engine finalizes so a
+        # straddling alert's terminal CLEARED line is part of the log.
+        remediation.engine.finalize(float(sim.now))
+        record["actions"] = list(remediation.log)
 
     if topology.links:
         window_s = spec.effective_sync_window_s
@@ -731,6 +792,7 @@ def build_fleet_health(
     rules: Sequence[BurnRateRule] = FLEET_RULES,
     eval_interval_s: float = 60.0,
     rule_overrides: Optional[Mapping[str, Sequence[BurnRateRule]]] = None,
+    action_log: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """The merged fleet health document (schema ``repro.monitor.fleet/1``).
 
@@ -783,8 +845,12 @@ def build_fleet_health(
         else "ok"
     )
     aggregates = document["aggregates"]
-    alerts_active = sum(1 for a in engine.alerts if a.cleared_at is None)
-    return {
+    # The replay finalizes, so nothing stays literally active; what the
+    # rollup wants is alerts that never organically recovered.
+    alerts_active = sum(
+        1 for a in engine.alerts if a.cleared_at is None or a.final
+    )
+    out: Dict[str, Any] = {
         "schema": FLEET_HEALTH_SCHEMA,
         "spec": spec.to_dict(),
         "fleet": {
@@ -814,6 +880,12 @@ def build_fleet_health(
         "log": engine_report["log"],
         "stats": engine_report["stats"],
     }
+    if action_log is not None:
+        # Remediated runs carry their merged (group-ordered) action log
+        # alongside the alert log; the key is absent otherwise so
+        # unremediated health documents keep their exact bytes.
+        out["actions"] = list(action_log)
+    return out
 
 
 def snapshots_from_group_records(
@@ -824,6 +896,22 @@ def snapshots_from_group_records(
         MonitorSnapshot.from_dict(group["monitor"])
         for group in group_records
         if "monitor" in group
+    ]
+
+
+def actions_from_group_records(
+    group_records: Sequence[Mapping[str, Any]],
+) -> List[str]:
+    """The merged fleet action log: per-group lines in group-key order.
+
+    Groups are atomic sim units, so each group's lines are internally
+    time-ordered and byte-identical under every shard layout; ordering
+    the groups by their sorted zone tuple (the same key the document
+    merge uses) makes the concatenation layout-independent too.
+    """
+    ordered = sorted(group_records, key=lambda g: tuple(g["zones"]))
+    return [
+        line for group in ordered for line in group.get("actions", ())
     ]
 
 
@@ -876,6 +964,14 @@ class ShardedFleetResult:
         log = self.health["log"]
         return "\n".join(log) + ("\n" if log else "")
 
+    @property
+    def action_log(self) -> str:
+        """The merged remediation action log ("" when not remediated)."""
+        if self.health is None:
+            return ""
+        log = self.health.get("actions", [])
+        return "\n".join(log) + ("\n" if log else "")
+
 
 def run_sharded(
     spec: ShardedFleetSpec,
@@ -920,7 +1016,13 @@ def run_sharded(
         merged_snapshot = merge_snapshots(
             snapshots_from_group_records(group_records)
         )
-        health = build_fleet_health(spec, document, merged_snapshot)
+        health = build_fleet_health(
+            spec, document, merged_snapshot,
+            action_log=(
+                actions_from_group_records(group_records)
+                if spec.remediate else None
+            ),
+        )
     return ShardedFleetResult(
         spec=spec, plan=plan, document=document, error_bound=bound,
         health=health,
@@ -960,7 +1062,12 @@ def reference_health(spec: ShardedFleetSpec) -> Dict[str, Any]:
     ]
     document = merge_group_records(spec, records)
     merged = merge_snapshots(snapshots_from_group_records(records))
-    return build_fleet_health(spec, document, merged)
+    return build_fleet_health(
+        spec, document, merged,
+        action_log=(
+            actions_from_group_records(records) if spec.remediate else None
+        ),
+    )
 
 
 __all__ = [
@@ -968,6 +1075,7 @@ __all__ = [
     "SCHEMA",
     "ShardedFleetResult",
     "ShardedFleetSpec",
+    "actions_from_group_records",
     "build_fleet_health",
     "compute_error_bound",
     "fleet_chaos_schedule",

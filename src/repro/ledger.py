@@ -112,6 +112,7 @@ class LedgerEntry:
     artifacts: List[str] = field(default_factory=list)
     argv: List[str] = field(default_factory=list)
     git_rev: Optional[str] = None
+    status: str = "ok"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -125,6 +126,7 @@ class LedgerEntry:
             "artifacts": self.artifacts,
             "argv": self.argv,
             "git_rev": self.git_rev,
+            "status": self.status,
         }
 
     @staticmethod
@@ -139,6 +141,7 @@ class LedgerEntry:
             artifacts=[str(a) for a in data.get("artifacts", ())],
             argv=[str(a) for a in data.get("argv", ())],
             git_rev=data.get("git_rev"),
+            status=str(data.get("status", "ok")),
         )
 
 
@@ -149,6 +152,7 @@ def make_entry(
     metrics: Optional[Mapping[str, Any]] = None,
     artifacts: Sequence[str] = (),
     argv: Sequence[str] = (),
+    status: str = "ok",
 ) -> LedgerEntry:
     """Build an entry, stamping config hash, git rev, and UTC time."""
     return LedgerEntry(
@@ -161,6 +165,7 @@ def make_entry(
         artifacts=[str(a) for a in artifacts],
         argv=[str(a) for a in argv],
         git_rev=git_revision(),
+        status=status,
     )
 
 
@@ -207,8 +212,8 @@ def render_entries(
     subset; without it rows number contiguously from ``start_index``.
     """
     lines = [
-        f"{'#':>4}  {'recorded_at':<20} {'command':<7} {'config':<12} "
-        f"{'git':<9} {'wall_s':>8}  metrics"
+        f"{'#':>4}  {'recorded_at':<20} {'command':<7} {'status':<6} "
+        f"{'config':<12} {'git':<9} {'wall_s':>8}  metrics"
     ]
     for offset, entry in enumerate(entries):
         index = indices[offset] if indices is not None else (
@@ -219,7 +224,8 @@ def render_entries(
         )
         lines.append(
             f"{index:>4}  {entry.recorded_at:<20} "
-            f"{entry.command:<7} {entry.config_sha256[:12]:<12} "
+            f"{entry.command:<7} {entry.status:<6} "
+            f"{entry.config_sha256[:12]:<12} "
             f"{(entry.git_rev or '-'):<9} {entry.wall_s:>8.3f}  {brief}"
         )
     return "\n".join(lines) + "\n"

@@ -69,6 +69,7 @@ __all__ = [
     "default_fleet_rule_overrides",
     "default_fleet_slos",
     "fleet_health_to_prometheus",
+    "live_fleet_slos",
     "merge_snapshots",
     "restore_monitor",
 ]
@@ -357,6 +358,41 @@ def default_fleet_rule_overrides(
     }
 
 
+def live_fleet_slos(
+    group_label: str,
+    availability_objective: float = 0.99,
+    uplink_stall_threshold_s: float = 30.0,
+    uplink_stall_objective: float = 0.75,
+) -> List[SLO]:
+    """The SLO set a *live* per-group engine evaluates during the sim.
+
+    Mirrors :func:`default_fleet_slos`'s vocabulary (``availability:<group>``,
+    ``uplink-stall`` / ``downlink-stall``) but is built up front from the
+    coupling-group label rather than derived from an end-of-run snapshot —
+    a live engine cannot know which series will exist.  SLOs over series
+    that never record data simply never fire.
+    """
+    slos: List[SLO] = [
+        AvailabilitySLO(
+            f"availability:{group_label}",
+            entity=group_label,
+            objective=availability_objective,
+        )
+    ]
+    for link in ("uplink", "downlink"):
+        slos.append(
+            LatencySLO(
+                f"{link}-stall",
+                kind=KIND_LINK,
+                entity=link,
+                threshold_s=uplink_stall_threshold_s,
+                objective=uplink_stall_objective,
+                signal="throughput",
+            )
+        )
+    return slos
+
+
 class FleetSLOEngine:
     """Offline burn-rate replay over a merged fleet snapshot.
 
@@ -398,13 +434,22 @@ class FleetSLOEngine:
         return self.engine.eval_interval_s
 
     def evaluate(self) -> "FleetSLOEngine":
-        """Replay every evaluation tick over the snapshot (idempotent)."""
+        """Replay every evaluation tick over the snapshot (idempotent).
+
+        The replay ends with :meth:`~repro.monitor.slo.SLOEngine.finalize`
+        at the last tick time, so an outage window that straddles the
+        snapshot's end still produces a terminal ``CLEARED ... final=true``
+        line and the log is complete at any horizon.
+        """
         if self._evaluated:
             return self
         interval = self.engine.eval_interval_s
         ticks = int(math.ceil(self.snapshot.end_s / interval))
         for k in range(1, ticks + 1):
             self.engine.evaluate(k * interval)
+        # Finalize at the last tick (>= end_s) to keep the log's
+        # timestamps monotonic; with no ticks, at the end time itself.
+        self.engine.finalize(ticks * interval if ticks else self.snapshot.end_s)
         self._evaluated = True
         return self
 

@@ -140,6 +140,30 @@ class Monitor:
             return None
         return agg.extra("bytes") / radio_s
 
+    def link_goodput_points(
+        self, link: str, now: float, window_s: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Per-bucket link goodput samples over the window, oldest first.
+
+        Each point is ``(bucket_end_s, bytes / radio_s)`` for a bucket
+        that saw transfer airtime; buckets without radio time are
+        skipped (no transfer finished there, so there is no rate to
+        report).  This is the time series the short-horizon forecaster
+        fits — :meth:`link_rate` is the same quantity folded to one
+        number.
+        """
+        series = self._series.get((KIND_LINK, link, "throughput"))
+        if series is None:
+            return []
+        points: List[Tuple[float, float]] = []
+        for end, extras in series.bucket_extras(
+            now, window_s or self.horizon_s, ("bytes", "radio_s")
+        ):
+            radio_s = extras["radio_s"]
+            if radio_s > 0.0:
+                points.append((end, extras["bytes"] / radio_s))
+        return points
+
     def queue_depth(
         self, function: str, now: float, window_s: Optional[float] = None
     ) -> float:

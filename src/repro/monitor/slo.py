@@ -206,7 +206,13 @@ class CostSLO(SLO):
 
 @dataclass
 class Alert:
-    """One firing of (SLO, rule); ``cleared_at`` stays ``None`` while active."""
+    """One firing of (SLO, rule); ``cleared_at`` stays ``None`` while active.
+
+    ``final=True`` marks a forced close by :meth:`SLOEngine.finalize`:
+    the run ended while the alert was still burning, so ``cleared_at``
+    records the horizon rather than a recovery.  Health rollups treat
+    final alerts as unresolved.
+    """
 
     slo: str
     rule: str
@@ -216,13 +222,19 @@ class Alert:
     burn_short: float
     burn_long: float
     cleared_at: Optional[float] = None
+    final: bool = False
 
     @property
     def active(self) -> bool:
         return self.cleared_at is None
 
+    @property
+    def resolved(self) -> bool:
+        """True only for an organic clear — the burn actually recovered."""
+        return self.cleared_at is not None and not self.final
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "slo": self.slo,
             "rule": self.rule,
             "severity": self.severity,
@@ -232,6 +244,9 @@ class Alert:
             "burn_long": self.burn_long,
             "cleared_at": self.cleared_at,
         }
+        if self.final:
+            out["final"] = True
+        return out
 
 
 class SLOEngine:
@@ -270,6 +285,27 @@ class SLOEngine:
         self.alerts: List[Alert] = []
         self.log: List[str] = []
         self._active: Dict[Tuple[str, str], Alert] = {}
+        self._listeners: List[Any] = []
+        self._finalized_at: Optional[float] = None
+
+    def subscribe(self, listener: Any) -> None:
+        """Register an alert-lifecycle listener.
+
+        A listener may implement ``on_alert_fired(alert, now)`` and
+        ``on_alert_cleared(alert, now)``; both are optional.  Listeners
+        are notified in subscription order, inside :meth:`evaluate`, in
+        the same canonical (SLO name, rule name) order as the log — so
+        anything a listener does is as deterministic as the log itself.
+        Forced closes from :meth:`finalize` do not notify (the run is
+        over; there is nothing left to act on).
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, alert: Alert, now: float) -> None:
+        for listener in self._listeners:
+            hook = getattr(listener, event, None)
+            if hook is not None:
+                hook(alert, now)
 
     def rules_for(self, slo: SLO) -> Tuple[BurnRateRule, ...]:
         """The rule set evaluated for ``slo`` (override or the default).
@@ -328,6 +364,7 @@ class SLOEngine:
                         f"severity={rule.severity} entity={alert.entity} "
                         f"burn_short={burn_short!r} burn_long={burn_long!r}"
                     )
+                    self._notify("on_alert_fired", alert, now)
                 elif not firing and active is not None:
                     active.cleared_at = now
                     del self._active[key]
@@ -335,7 +372,40 @@ class SLOEngine:
                         f"t={now!r} CLEARED slo={slo.name} rule={rule.name} "
                         f"severity={rule.severity} entity={active.entity}"
                     )
+                    self._notify("on_alert_cleared", active, now)
         return fired
+
+    def finalize(self, now: float) -> List[Alert]:
+        """Run a last evaluation, then force-close any alert still firing.
+
+        Without this, an outage window that straddles the end of the run
+        leaves its alert FIRING forever: the log never gains a terminal
+        CLEARED line, so the log's byte content depends on whether the
+        horizon happened to land after the recovery.  Forced closes are
+        marked ``final=true`` in both the log line and the alert dict,
+        and the alert still counts as *unresolved* for health rollups.
+        Idempotent; returns the alerts that were force-closed.
+        """
+        if self._finalized_at is not None:
+            if now != self._finalized_at:
+                raise ValueError(
+                    f"finalize({now!r}) after finalize({self._finalized_at!r})"
+                )
+            return []
+        self.evaluate(now)
+        closed: List[Alert] = []
+        for key in sorted(self._active):
+            alert = self._active[key]
+            alert.cleared_at = now
+            alert.final = True
+            closed.append(alert)
+            self.log.append(
+                f"t={now!r} CLEARED slo={alert.slo} rule={alert.rule} "
+                f"severity={alert.severity} entity={alert.entity} final=true"
+            )
+        self._active.clear()
+        self._finalized_at = now
+        return closed
 
     def attach(self, sim: Any) -> None:
         """Spawn the evaluation pump on ``sim``'s clock."""
@@ -353,21 +423,39 @@ class SLOEngine:
         """Currently firing alerts, ordered by (SLO name, rule name)."""
         return [self._active[key] for key in sorted(self._active)]
 
+    def unresolved_alerts(self) -> List[Alert]:
+        """Alerts that never organically recovered, in canonical order.
+
+        Mid-run this equals :meth:`active_alerts`; after
+        :meth:`finalize` it also includes the force-closed
+        (``final=true``) alerts, so health keeps reporting a fleet that
+        ended the run burning.
+        """
+        out = self.active_alerts()
+        out.extend(
+            alert for alert in self.alerts
+            if alert.final and alert not in out
+        )
+        out.sort(key=lambda a: (a.slo, a.rule))
+        return out
+
     def alert_log(self) -> str:
         """The canonical alert log: one line per fire/clear, newline-terminated."""
         return "\n".join(self.log) + ("\n" if self.log else "")
 
     def health(self, now: float) -> Dict[str, Dict[str, Any]]:
-        """Per-entity health snapshot derived from active alerts.
+        """Per-entity health snapshot derived from unresolved alerts.
 
-        ``critical`` with an active page-severity alert, ``degraded``
-        with only ticket-severity alerts, ``ok`` otherwise.
+        ``critical`` with an unresolved page-severity alert,
+        ``degraded`` with only ticket-severity alerts, ``ok``
+        otherwise.  After :meth:`finalize`, force-closed alerts still
+        count: a zone that ended the run burning is not ``ok``.
         """
         out: Dict[str, Dict[str, Any]] = {}
         for slo in self.slos:
             entity = f"{slo.kind}/{slo.entity}"
             out.setdefault(entity, {"status": "ok", "active_alerts": []})
-        for alert in self.active_alerts():
+        for alert in self.unresolved_alerts():
             entry = out.setdefault(
                 alert.entity, {"status": "ok", "active_alerts": []}
             )

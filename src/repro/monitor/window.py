@@ -19,7 +19,7 @@ length.
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.monitor.sketch import QuantileSketch
 
@@ -247,6 +247,31 @@ class WindowedSeries:
             bucket.extras_max = {k: float(extras_max[k]) for k in extras_max}
             series._buckets[int(key)] = bucket
         return series
+
+    def bucket_extras(
+        self, now: float, window_s: float, names: Sequence[str]
+    ) -> List[Tuple[float, Dict[str, float]]]:
+        """Per-bucket summed extras over ``(now - window_s, now]``.
+
+        Returns ``(bucket_end_s, {name: sum})`` pairs, oldest first,
+        for buckets that recorded at least one event — the raw points a
+        short-horizon forecaster fits a trend to.  Window alignment
+        matches :meth:`aggregate`.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        first = int(max(0.0, now - window_s) // self.bucket_s)
+        last = int(now // self.bucket_s)
+        out: List[Tuple[float, Dict[str, float]]] = []
+        for index in sorted(self._buckets):
+            if index < first or index > last:
+                continue
+            bucket = self._buckets[index]
+            out.append((
+                (index + 1) * self.bucket_s,
+                {name: bucket.extras.get(name, 0.0) for name in names},
+            ))
+        return out
 
     def aggregate(self, now: float, window_s: float) -> WindowAggregate:
         """Fold buckets intersecting ``(now - window_s, now]``.

@@ -1,0 +1,53 @@
+"""Closed-loop remediation: SLO alerts and forecasts drive the controller.
+
+The monitor plane detects burn; this package *acts* on it.  A
+:class:`~repro.remediate.engine.RemediationEngine` subscribes to a live
+:class:`~repro.monitor.slo.SLOEngine`, maps alerts through the
+declarative policy table in :mod:`repro.remediate.policy` to controller
+actions (hedging escalation, memory re-allocation, traffic shifting,
+fallback-to-local), and polls the short-horizon goodput forecasters in
+:mod:`repro.remediate.forecast` for proactive re-planning — all logged
+into a byte-deterministic action log mirroring the alert log.
+"""
+
+from repro.remediate.engine import (
+    Action,
+    ControllerActuator,
+    RemediationEngine,
+    RemediationPlane,
+    attach_remediation,
+)
+from repro.remediate.forecast import (
+    Forecast,
+    LinkForecaster,
+    ewma,
+    holt_linear,
+)
+from repro.remediate.policy import (
+    ACTION_ESCALATE_HEDGING,
+    ACTION_FALLBACK_LOCAL,
+    ACTION_REALLOCATE_MEMORY,
+    ACTION_REPLAN_RATE,
+    ACTION_SHIFT_TRAFFIC,
+    DEFAULT_POLICY,
+    PolicyRule,
+)
+
+__all__ = [
+    "ACTION_ESCALATE_HEDGING",
+    "ACTION_FALLBACK_LOCAL",
+    "ACTION_REALLOCATE_MEMORY",
+    "ACTION_REPLAN_RATE",
+    "ACTION_SHIFT_TRAFFIC",
+    "Action",
+    "ControllerActuator",
+    "DEFAULT_POLICY",
+    "Forecast",
+    "LinkForecaster",
+    "PolicyRule",
+    "RemediationEngine",
+    "RemediationPlane",
+    "attach_remediation",
+    "ewma",
+    "holt_linear",
+]

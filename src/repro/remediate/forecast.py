@@ -1,0 +1,165 @@
+"""Short-horizon link-goodput forecasting for proactive re-planning.
+
+Burn-rate rules are *reactive*: they need a short and a long window of
+bad events before they page, so the controller only hears about a
+degrading uplink after jobs have already burned spend into it.  A
+degradation *trend*, by contrast, is visible earlier — goodput falls
+bucket over bucket before transfers start stalling outright.
+
+:func:`holt_linear` fits the classic double-exponential (Holt linear)
+smoother to the per-bucket goodput points a
+:class:`~repro.monitor.monitor.Monitor` exposes via
+``link_goodput_points``: a smoothed *level* plus a smoothed *trend*,
+extrapolated ``h`` steps ahead.  With ``beta=0`` it degenerates to a
+plain EWMA (level only, no trend).  Everything here is pure float
+arithmetic over already-deterministic bucket data, so two same-seed runs
+forecast byte-identically.
+
+:class:`LinkForecaster` wraps the smoother into a verdict the
+:class:`~repro.remediate.engine.RemediationEngine` polls on its
+evaluation cadence: *will this link's goodput fall below a fraction of
+its recent best within the horizon?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Forecast", "LinkForecaster", "ewma", "holt_linear"]
+
+
+def ewma(values: Sequence[float], alpha: float = 0.5) -> Optional[float]:
+    """Exponentially weighted moving average; ``None`` on empty input."""
+    if not values:
+        return None
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    level = values[0]
+    for value in values[1:]:
+        level = alpha * value + (1.0 - alpha) * level
+    return level
+
+
+def holt_linear(
+    values: Sequence[float], alpha: float = 0.5, beta: float = 0.3
+) -> Optional[Tuple[float, float]]:
+    """Holt's linear method: smoothed ``(level, trend)`` after ``values``.
+
+    Needs at least two points to seed the trend; returns ``None``
+    otherwise.  ``beta=0`` freezes the trend at its seed — with a seed
+    of zero that is exactly an EWMA.
+    """
+    if len(values) < 2:
+        return None
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    level = values[0]
+    trend = values[1] - values[0]
+    for value in values[1:]:
+        prev_level = level
+        level = alpha * value + (1.0 - alpha) * (level + trend)
+        trend = beta * (level - prev_level) + (1.0 - beta) * trend
+    return level, trend
+
+
+def forecast_ahead(
+    values: Sequence[float], steps: float, alpha: float = 0.5,
+    beta: float = 0.3,
+) -> Optional[float]:
+    """Holt linear forecast ``steps`` buckets ahead, floored at zero."""
+    fit = holt_linear(values, alpha=alpha, beta=beta)
+    if fit is None:
+        return None
+    level, trend = fit
+    return max(0.0, level + steps * trend)
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """One degradation verdict: the link is trending below its baseline."""
+
+    link: str
+    at: float
+    horizon_s: float
+    observed_bps: float  # latest bucket's goodput
+    forecast_bps: float  # Holt extrapolation at the horizon
+    baseline_bps: float  # best bucket goodput in the window
+
+    def detail(self) -> str:
+        """Canonical key=value rendering for the action log."""
+        return (
+            f"link={self.link} forecast_bps={self.forecast_bps!r} "
+            f"baseline_bps={self.baseline_bps!r} horizon_s={self.horizon_s!r}"
+        )
+
+
+class LinkForecaster:
+    """Polls one link's goodput buckets and flags a degrading trend.
+
+    A verdict is returned when the Holt forecast ``horizon_s`` ahead
+    falls below ``degraded_fraction`` of the best bucket goodput seen in
+    the window — i.e. the link is *predicted* to lose most of its recent
+    capacity, even if no transfer has stalled yet.
+    """
+
+    def __init__(
+        self,
+        monitor: "object",
+        link: str = "uplink",
+        window_s: float = 300.0,
+        horizon_s: float = 60.0,
+        degraded_fraction: float = 0.5,
+        min_points: int = 3,
+        cooldown_s: float = 240.0,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+    ) -> None:
+        if not 0.0 < degraded_fraction < 1.0:
+            raise ValueError(
+                f"degraded_fraction must be in (0, 1), got {degraded_fraction}"
+            )
+        if min_points < 2:
+            raise ValueError(f"min_points must be >= 2, got {min_points}")
+        self.monitor = monitor
+        self.link = link
+        self.window_s = window_s
+        self.horizon_s = horizon_s
+        self.degraded_fraction = degraded_fraction
+        self.min_points = min_points
+        self.cooldown_s = cooldown_s
+        self.alpha = alpha
+        self.beta = beta
+
+    @property
+    def name(self) -> str:
+        return f"{self.link}-goodput"
+
+    def assess(self, now: float) -> Optional[Forecast]:
+        """The degradation verdict at sim time ``now``, or ``None``."""
+        points = self.monitor.link_goodput_points(  # type: ignore[attr-defined]
+            self.link, now, self.window_s
+        )
+        if len(points) < self.min_points:
+            return None
+        values: List[float] = [v for _, v in points]
+        bucket_s = float(getattr(self.monitor, "bucket_s", 10.0))
+        steps = self.horizon_s / bucket_s
+        predicted = forecast_ahead(
+            values, steps, alpha=self.alpha, beta=self.beta
+        )
+        if predicted is None:
+            return None
+        baseline = max(values)
+        if baseline <= 0.0 or predicted >= self.degraded_fraction * baseline:
+            return None
+        return Forecast(
+            link=self.link,
+            at=now,
+            horizon_s=self.horizon_s,
+            observed_bps=values[-1],
+            forecast_bps=predicted,
+            baseline_bps=baseline,
+        )

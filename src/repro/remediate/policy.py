@@ -1,0 +1,117 @@
+"""The declarative alert→action policy table.
+
+Remediation is a *mapping*, not a program: each :class:`PolicyRule`
+matches alerts by SLO-name glob and severity and names one controller
+action.  Rules are evaluated in table order against every newly fired
+alert; a per-(rule, entity) cooldown stops a still-burning alert's
+re-fires (or sibling rules on the same entity) from hammering the same
+knob every evaluation tick.
+
+The action vocabulary mirrors the degradation responses the controller
+already has, plus the two planning knobs remediation adds:
+
+=====================  ====================================================
+action                 effect on the controller(s)
+=====================  ====================================================
+``escalate-hedging``   tighten ``hedge_after_s`` (duplicate stragglers
+                       sooner)
+``fallback-local``     enable / tighten fallback-to-local budgets
+``shift-traffic``      route upcoming jobs fully local for a hold window
+``reallocate-memory``  floor function memory at the next tier and replan
+``replan-rate``        pin planning link rates to a forecast and replan
+                       (the proactive action; also used to *drop* the pin
+                       when the trend recovers)
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Tuple
+
+__all__ = [
+    "ACTION_ESCALATE_HEDGING",
+    "ACTION_FALLBACK_LOCAL",
+    "ACTION_REALLOCATE_MEMORY",
+    "ACTION_REPLAN_RATE",
+    "ACTION_SHIFT_TRAFFIC",
+    "DEFAULT_POLICY",
+    "PolicyRule",
+]
+
+ACTION_ESCALATE_HEDGING = "escalate-hedging"
+ACTION_FALLBACK_LOCAL = "fallback-local"
+ACTION_SHIFT_TRAFFIC = "shift-traffic"
+ACTION_REALLOCATE_MEMORY = "reallocate-memory"
+ACTION_REPLAN_RATE = "replan-rate"
+
+_ACTIONS = frozenset({
+    ACTION_ESCALATE_HEDGING,
+    ACTION_FALLBACK_LOCAL,
+    ACTION_SHIFT_TRAFFIC,
+    ACTION_REALLOCATE_MEMORY,
+    ACTION_REPLAN_RATE,
+})
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One row of the policy table.
+
+    ``match_slo`` is an ``fnmatch``-style glob over the SLO name (the
+    stable vocabulary: ``availability*``, ``*-stall``, ``cold-start*``,
+    ``cost*``); ``match_severity`` is an exact severity or ``"*"``.
+    ``cooldown_s`` is the minimum sim-time gap between two applications
+    of *this rule to the same entity*.
+    """
+
+    name: str
+    action: str
+    match_slo: str = "*"
+    match_severity: str = "*"
+    cooldown_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"rule {self.name!r}: unknown action {self.action!r} "
+                f"(known: {sorted(_ACTIONS)})"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"rule {self.name!r}: cooldown_s must be >= 0, "
+                f"got {self.cooldown_s}"
+            )
+
+    def matches(self, slo: str, severity: str) -> bool:
+        """True when this rule applies to an alert of (slo, severity)."""
+        if not fnmatchcase(slo, self.match_slo):
+            return False
+        return self.match_severity == "*" or self.match_severity == severity
+
+
+#: The stock table.  Order matters: for one alert, traffic is shifted
+#: away from the burning zone *first* (stops new spend immediately),
+#: then in-flight resilience knobs are tightened.  Stall alerts come
+#: from the link-outage detector; availability alerts from failed cloud
+#: attempts; both get the shift + tighten pair.  Cold-start spikes get
+#: the memory re-allocation (bigger sandboxes start and run faster);
+#: cost burn gets traffic shifting only.
+DEFAULT_POLICY: Tuple[PolicyRule, ...] = (
+    PolicyRule("stall-shift", ACTION_SHIFT_TRAFFIC,
+               match_slo="*-stall", cooldown_s=180.0),
+    PolicyRule("stall-fallback", ACTION_FALLBACK_LOCAL,
+               match_slo="*-stall", cooldown_s=300.0),
+    PolicyRule("availability-shift", ACTION_SHIFT_TRAFFIC,
+               match_slo="availability*", cooldown_s=180.0),
+    PolicyRule("availability-hedge", ACTION_ESCALATE_HEDGING,
+               match_slo="availability*", cooldown_s=120.0),
+    PolicyRule("availability-fallback", ACTION_FALLBACK_LOCAL,
+               match_slo="availability*", match_severity="page",
+               cooldown_s=300.0),
+    PolicyRule("cold-start-memory", ACTION_REALLOCATE_MEMORY,
+               match_slo="cold-start*", cooldown_s=600.0),
+    PolicyRule("cost-shift", ACTION_SHIFT_TRAFFIC,
+               match_slo="cost*", cooldown_s=300.0),
+)

@@ -309,7 +309,26 @@ def _hedged_proc(
             )
         pending = [g for g in lanes if not g.triggered]
         if not pending:
-            raise lanes[-1].value[1]
+            # Every lane failed.  Raising just the last lane's error
+            # would silently drop the other lane's wasted spend and
+            # attempt count, so the caller's exactly-once accounting
+            # (cost += error.wasted_usd) under-bills the episode.
+            # Aggregate across lanes instead.
+            errors = [g.value[1] for g in lanes]
+            exhausted = [
+                e for e in errors if isinstance(e, RetriesExhaustedError)
+            ]
+            if len(exhausted) < len(errors):
+                # A non-retry failure (unexpected) propagates as-is.
+                raise next(
+                    e for e in errors
+                    if not isinstance(e, RetriesExhaustedError)
+                )
+            raise RetriesExhaustedError(
+                request.function,
+                attempts=sum(e.attempts for e in exhausted),
+                wasted_usd=sum(e.wasted_usd for e in exhausted),
+            ) from exhausted[-1]
         yield sim.any_of(pending)
 
 

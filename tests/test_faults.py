@@ -546,6 +546,59 @@ class TestHedgeBothFinishRace:
         assert outcome.total_cost == pytest.approx(0.003)
 
 
+class TestHedgeAllLanesFailAccounting:
+    """When every lane exhausts its retries, the combined error must
+    carry *both* lanes' attempts and waste exactly once — previously
+    only the last-failing lane's ledger survived, silently dropping the
+    other lane's billed failures."""
+
+    def _race_to_exhaustion(self, sim, script, max_attempts=1):
+        from repro.serverless import RetriesExhaustedError
+
+        errors = []
+
+        def driver(sim):
+            try:
+                yield invoke_hedged(
+                    _ScriptedPlatform(sim, script),
+                    InvocationRequest("f", 1.0),
+                    policy=RetryPolicy(
+                        max_attempts=max_attempts, base_delay_s=1.0
+                    ),
+                    hedge_after_s=5.0,
+                )
+            except RetriesExhaustedError as error:
+                errors.append(error)
+
+        sim.run(until=sim.spawn(driver(sim)))
+        (error,) = errors
+        return error
+
+    def test_same_batch_failures_sum_both_lanes(self, sim):
+        # Primary fails at t=10; hedge (started at 5) fails at t=10 in
+        # the same event batch.  Each lane billed one 0.001 failure.
+        error = self._race_to_exhaustion(sim, [(10.0, False), (5.0, False)])
+        assert sim.now == 10.0
+        assert error.attempts == 2
+        assert error.wasted_usd == pytest.approx(0.002)
+
+    def test_staggered_failures_sum_both_lanes(self, sim):
+        # Hedge fails first (t=7), primary later (t=10): the combined
+        # error surfaces when the last lane dies and still carries the
+        # earlier lane's waste.
+        error = self._race_to_exhaustion(sim, [(10.0, False), (2.0, False)])
+        assert sim.now == 10.0
+        assert error.attempts == 2
+        assert error.wasted_usd == pytest.approx(0.002)
+
+    def test_retried_lanes_sum_every_attempt(self, sim):
+        # Two attempts per lane, all failing: 4 attempts, 4 bills.
+        script = [(10.0, False), (5.0, False), (2.0, False), (2.0, False)]
+        error = self._race_to_exhaustion(sim, script, max_attempts=2)
+        assert error.attempts == 4
+        assert error.wasted_usd == pytest.approx(0.004)
+
+
 class TestDegradationPolicy:
     def test_validation(self):
         with pytest.raises(ValueError):

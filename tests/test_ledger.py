@@ -212,3 +212,88 @@ class TestCli:
         (entry,) = read_ledger(ledger)
         assert entry.command == "sweep"
         assert entry.metrics["configs"] == 1
+
+
+class TestErrorStatus:
+    """A run that dies mid-flight must still leave a ledger record."""
+
+    def test_successful_run_records_ok(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main([
+            "run", "--app", "photo_backup", "--jobs", "1",
+            "--ledger", str(ledger),
+        ]) == 0
+        capsys.readouterr()
+        (entry,) = read_ledger(ledger)
+        assert entry.status == "ok"
+
+    def test_crashed_run_records_error_entry(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.core.controller import OffloadController
+
+        def boom(self, jobs):
+            raise RuntimeError("died mid-flight")
+
+        monkeypatch.setattr(OffloadController, "run_workload", boom)
+        ledger = tmp_path / "ledger.jsonl"
+        with pytest.raises(RuntimeError, match="mid-flight"):
+            main([
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--ledger", str(ledger),
+            ])
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        (entry,) = read_ledger(ledger)
+        assert entry.command == "run"
+        assert entry.status == "error"
+        assert entry.metrics == {"error": "RuntimeError"}
+        # The config is recorded so the failed run is replayable.
+        assert entry.config["app"] == "photo_backup"
+
+    def test_crashed_fleet_records_error_entry(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.fleet.sharded as sharded
+
+        def boom(*args, **kwargs):
+            raise ValueError("shard blew up")
+
+        monkeypatch.setattr(sharded, "run_sharded", boom)
+        ledger = tmp_path / "ledger.jsonl"
+        with pytest.raises(ValueError, match="blew up"):
+            main([
+                "fleet", "--zones", "2", "--ues-per-zone", "1",
+                "--window", "600", "--slack", "1200",
+                "--ledger", str(ledger),
+            ])
+        capsys.readouterr()
+        (entry,) = read_ledger(ledger)
+        assert entry.command == "fleet"
+        assert entry.status == "error"
+        assert entry.metrics == {"error": "ValueError"}
+
+    def test_usage_errors_are_not_ledgered(self, tmp_path, capsys):
+        # SystemExit from bad arguments is user input, not a run death.
+        ledger = tmp_path / "ledger.jsonl"
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--app", "photo_backup", "--jobs", "1",
+                "--actions-out", str(tmp_path / "a.log"),
+                "--ledger", str(ledger),
+            ])
+        assert not ledger.exists()
+
+    def test_status_round_trips_and_renders(self):
+        entry = make_entry(
+            "run", {"app": "x"}, wall_s=1.0,
+            metrics={"error": "RuntimeError"}, status="error",
+        )
+        clone = LedgerEntry.from_dict(entry.to_dict())
+        assert clone.status == "error"
+        text = render_entries([entry])
+        assert "error" in text
+        # Legacy records without the field read back as ok.
+        payload = entry.to_dict()
+        del payload["status"]
+        assert LedgerEntry.from_dict(payload).status == "ok"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Closed-loop remediation smoke check (CI gate).
+
+Runs a coupled 4-zone fleet under uplink-outage chaos with and without
+the remediation engine and asserts the closed-loop contract end to end:
+
+* the remediated run must **act** — at least one action in the merged
+  action log — and the firing ``uplink-stall`` alert must still clear;
+* acting must pay off — the remediated platform bill must be strictly
+  below the alert-only run's (traffic shifted away from the stalled
+  uplink stops burning spend into it);
+* determinism must survive the loop — the remediated merged document,
+  health document, and action log must be byte-identical between 1 and
+  2 shards (2 workers).
+
+The remediated action log is written out for artifact upload.  Exits
+non-zero on any violated expectation.
+
+Usage::
+
+    PYTHONPATH=src python tools/remediate_smoke.py [actions.log]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.sharded import ShardedFleetSpec, run_sharded  # noqa: E402
+from repro.fleet.topology import FleetTopology  # noqa: E402
+
+
+def build_spec(remediate: bool) -> ShardedFleetSpec:
+    topology = FleetTopology.uniform(
+        n_zones=4,
+        ues_per_zone=2,
+        connectivity="4g",
+        jobs_per_ue=1,
+        couple="pairs",
+        seed=0,
+    )
+    return ShardedFleetSpec(
+        topology=topology,
+        window_s=600.0,
+        slack_s=1200.0,
+        monitor=True,
+        chaos="uplink-outage",
+        remediate=remediate,
+    )
+
+
+def main(argv: list) -> int:
+    out_path = Path(argv[0]) if argv else Path("/tmp/fleet_actions.log")
+    failures = []
+
+    watched = run_sharded(build_spec(remediate=False), n_shards=1)
+    acted = run_sharded(build_spec(remediate=True), n_shards=1)
+    acted_sharded = run_sharded(
+        build_spec(remediate=True), n_shards=2, workers=2
+    )
+
+    log = acted.action_log
+    if not log:
+        failures.append("remediated chaos run applied no action")
+    alert_log = acted.alert_log
+    if "FIRING slo=uplink-stall" not in alert_log:
+        failures.append(
+            f"uplink-stall did not fire under remediation; log:\n{alert_log}"
+        )
+    if "CLEARED slo=uplink-stall" not in alert_log:
+        failures.append(
+            f"uplink-stall did not clear under remediation; log:\n{alert_log}"
+        )
+
+    watched_usd = watched.aggregates["platform_usd"]
+    acted_usd = acted.aggregates["platform_usd"]
+    if not acted_usd < watched_usd:
+        failures.append(
+            f"remediation did not cut spend: alert-only ${watched_usd!r} "
+            f"vs remediated ${acted_usd!r}"
+        )
+
+    if acted.merged_json() != acted_sharded.merged_json():
+        failures.append(
+            "remediated merged document differs between 1 and 2 shards"
+        )
+    if acted.health_json() != acted_sharded.health_json():
+        failures.append(
+            "remediated health document differs between 1 and 2 shards"
+        )
+    if acted.action_log != acted_sharded.action_log:
+        failures.append(
+            "remediated action log differs between 1 and 2 shards"
+        )
+
+    print(
+        f"chaos: alerts={acted.health['fleet']['alerts_fired']} "
+        f"actions={len(acted.health['actions'])} "
+        f"spend alert-only=${watched_usd:.2e} remediated=${acted_usd:.2e} "
+        f"shards 1==2: {acted.health_json() == acted_sharded.health_json()}"
+    )
+
+    out_path.write_text(log, encoding="utf-8")
+    print(f"remediation action log written to {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("remediation smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
