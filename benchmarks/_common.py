@@ -16,6 +16,9 @@ from repro.core.controller import Environment
 from repro.device.ue import DeviceSpec, UserEquipment
 from repro.metrics import MetricRegistry, Table
 from repro.network.link import Link, NetworkPath
+# Re-exported so every bench module registers itself through the one
+# flat import it already has (`from _common import ...`).
+from repro.perf.bench import MetricSpec, record_summary, register_bench
 from repro.serverless.platform import PlatformConfig, ServerlessPlatform
 from repro.sim import Simulator
 from repro.sim.rng import SeedSequenceRegistry
@@ -138,8 +141,9 @@ def timed_rows(cases, *, repeats=5, warmup=True):
     the least noise-contaminated estimate of the true cost.  Returns
     ``{name: best_seconds}`` in the input order.
 
-    O1 (tracer overhead) and O2 (kernel throughput) both build on this
-    instead of hand-rolling timing loops.
+    O2 (kernel throughput) and the fleet benches build on this instead
+    of hand-rolling timing loops; O1 interleaves its own rounds because
+    its asserts need the per-round samples, not just the minima.
     """
     from time import perf_counter
 
@@ -160,22 +164,28 @@ def timed_rows(cases, *, repeats=5, warmup=True):
 
 
 def write_bench_summary(name: str, payload: dict) -> None:
-    """Write ``BENCH_<name>.json`` when ``REPRO_BENCH_JSON`` is set.
+    """Record a bench's summary; write ``BENCH_<name>.json`` when asked.
 
-    The environment variable names a directory (created if missing); CI
-    exports it and uploads the resulting files as build artifacts so
-    cross-commit trends can be scraped without parsing stdout tables.
-    The payload is dumped as canonical JSON (sorted keys) plus the
-    benchmark name, so same-config runs diff cleanly.
+    Every call stashes the payload in the harness registry (so ``repro
+    bench run`` collects results without parsing stdout).  When the
+    ``REPRO_BENCH_JSON`` environment variable names a directory (created
+    if missing), the payload is additionally dumped there as sorted-key
+    JSON — stamped with the machine fingerprint so a committed baseline
+    records where its numbers came from; CI uploads the files as build
+    artifacts so cross-commit trends can be scraped without parsing
+    stdout tables.
     """
     import json
     import os
     from pathlib import Path
 
+    record_summary(name, payload)
     out_dir = os.environ.get("REPRO_BENCH_JSON")
     if not out_dir:
         return
-    document = {"bench": name, **payload}
+    from repro.perf.bench import machine_fingerprint
+
+    document = {"bench": name, "fingerprint": machine_fingerprint(), **payload}
     target = Path(out_dir)
     target.mkdir(parents=True, exist_ok=True)
     path = target / f"BENCH_{name}.json"

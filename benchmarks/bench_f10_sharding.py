@@ -16,7 +16,13 @@ from repro.fleet.sharded import ShardedFleetSpec, run_sharded
 from repro.fleet.topology import FleetTopology
 from repro.metrics import Table
 
-from _common import emit, timed_rows, write_bench_summary
+from _common import (
+    MetricSpec,
+    emit,
+    register_bench,
+    timed_rows,
+    write_bench_summary,
+)
 
 SHORT = os.environ.get("REPRO_BENCH_SHORT") == "1"
 
@@ -41,18 +47,37 @@ def build_spec() -> ShardedFleetSpec:
     return ShardedFleetSpec(topology=topology, window_s=7200.0)
 
 
+@register_bench(
+    "F10",
+    metrics=(
+        MetricSpec("byte_identical", kind="flag"),
+        MetricSpec("speedup_4w", kind="min", threshold=3.0,
+                   gate={"cores_min": 4, "mode": "full"}),
+    ),
+    deterministic=("mode", "zones", "ues", "jobs", "byte_identical",
+                   "meter_events"),
+    primary="speedup_4w",
+)
 def run_f10() -> Table:
     spec = build_spec()
     total_ues = spec.topology.total_ues
 
     # Claim 1: byte identity across shard counts (single worker, so the
     # comparison isolates partitioning from process scheduling).
-    reference = run_sharded(spec, n_shards=1, workers=1).merged_json()
+    reference_result = run_sharded(spec, n_shards=1, workers=1)
+    reference = reference_result.merged_json()
     byte_identical = all(
         run_sharded(spec, n_shards=n, workers=1).merged_json() == reference
         for n in (2, 4)
     )
     assert byte_identical, "merged report diverged across shard counts"
+    # The merged document embeds the group-summed runtime meter, so the
+    # byte check above already proves the meter snapshot is identical
+    # across shard layouts; surface its event count as a deterministic
+    # check the baseline comparison can pin exactly.
+    meter_events = int(
+        reference_result.document["meter"]["events_dispatched"]
+    )
 
     # Claim 2: shard fan-out scales throughput with worker processes.
     cases = {
@@ -81,6 +106,7 @@ def run_f10() -> Table:
         "ues": total_ues,
         "jobs": spec.topology.total_jobs,
         "byte_identical": byte_identical,
+        "meter_events": meter_events,
         "wall_s": {str(w): best[w] for w in WORKER_COUNTS},
         "ues_per_wall_s": {str(w): total_ues / best[w] for w in WORKER_COUNTS},
         "speedup_4w": speedup_4w,

@@ -16,7 +16,13 @@ from repro.fleet.sharded import ShardedFleetSpec, run_sharded
 from repro.fleet.topology import FleetTopology
 from repro.metrics import Table
 
-from _common import emit, timed_rows, write_bench_summary
+from _common import (
+    MetricSpec,
+    emit,
+    register_bench,
+    timed_rows,
+    write_bench_summary,
+)
 
 SHORT = os.environ.get("REPRO_BENCH_SHORT") == "1"
 
@@ -51,6 +57,17 @@ def _zone_tally(health: dict) -> dict:
     return tally
 
 
+@register_bench(
+    "F11",
+    metrics=(
+        MetricSpec("byte_identical", kind="flag"),
+        MetricSpec("monitor_overhead_x", kind="ratio", direction="lower",
+                   threshold=None),
+    ),
+    deterministic=("mode", "zones", "ues", "byte_identical", "alerts",
+                   "log_lines", "meter_events"),
+    primary="monitor_overhead_x",
+)
 def run_f11() -> Table:
     # Claim 1: health bytes are shard-layout-independent, chaos included.
     reference = run_sharded(
@@ -63,6 +80,10 @@ def run_f11() -> Table:
         for n in (2, 4)
     )
     assert byte_identical, "health document diverged across shard counts"
+    # The health document now embeds the group-summed runtime meter, so
+    # the byte check covers it; pin the event count as a deterministic
+    # baseline check too.
+    meter_events = int(reference.health["meter"]["events_dispatched"])
 
     # Claim 2: chaos is visible in the rollups, quiet fleets are quiet.
     results = {
@@ -105,6 +126,7 @@ def run_f11() -> Table:
         "zones": N_ZONES,
         "ues": reference.spec.topology.total_ues,
         "byte_identical": byte_identical,
+        "meter_events": meter_events,
         "alerts": {
             chaos: result.health["fleet"]["alerts_fired"]
             for chaos, result in results.items()

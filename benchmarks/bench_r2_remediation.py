@@ -37,10 +37,20 @@ from repro.serverless import RetryPolicy
 from repro.sim.rng import RngStream
 from repro.telemetry import attach_tracer
 
-from _common import emit, sweep_rows, write_bench_summary
+from _common import (
+    MetricSpec,
+    emit,
+    register_bench,
+    sweep_rows,
+    write_bench_summary,
+)
+
+import os
+
+SHORT = os.environ.get("REPRO_BENCH_SHORT", "") not in ("", "0")
 
 SEED = 171
-INTENSITIES = [0.0, 0.3, 0.6, 1.0]
+INTENSITIES = [0.0, 1.0] if SHORT else [0.0, 0.3, 0.6, 1.0]
 MODES = ["naive", "alert-only", "remediated"]
 N_JOBS = 12
 INPUT_MB = 3.0
@@ -155,6 +165,17 @@ def remediation_cell(config):
     return run_cell(config["mode"], chaos_schedule(config["intensity"]))
 
 
+@register_bench(
+    "R2",
+    metrics=(
+        # The digest is deterministic per mode (short mode runs fewer
+        # intensities, so cross-mode comparisons are skipped).
+        MetricSpec("worst_cell_digest", kind="equal", same_mode=True),
+    ),
+    deterministic=("mode", "seed", "jobs", "intensities", "wasted_usd",
+                   "recovery_s", "worst_cell_digest"),
+    primary="worst_cell_digest",
+)
 def run_r2() -> Table:
     table = Table(
         [
@@ -239,8 +260,9 @@ def run_r2() -> Table:
     )
 
     write_bench_summary(
-        "r2_remediation",
+        "R2",
         {
+            "mode": "short" if SHORT else "full",
             "seed": SEED,
             "jobs": N_JOBS,
             "intensities": INTENSITIES,

@@ -12,6 +12,7 @@ Exposes the library's main flows without writing code::
     python -m repro fleet --zones 8 --shards 4 --chaos uplink-outage \\
                           --remediate --health-out health.json
     python -m repro diff baseline_trace.json candidate_trace.json
+    python -m repro bench run --short --out bench.json
     python -m repro ledger show --last 5
 
 Every command is deterministic for a given ``--seed``; ``sweep`` output
@@ -90,6 +91,7 @@ def _ledger_record(
     metrics=None,
     artifacts=(),
     status: str = "ok",
+    meter=None,
 ) -> None:
     """Append one run-ledger entry (best-effort, never fatal)."""
     if getattr(args, "no_ledger", False):
@@ -107,6 +109,7 @@ def _ledger_record(
         artifacts=[str(a) for a in artifacts if a],
         argv=getattr(args, "invocation_argv", []),
         status=status,
+        meter=meter,
     )
     try:
         index = append_entry(path, entry)
@@ -118,6 +121,13 @@ def _ledger_record(
         f"{entry.status}) -> {path}",
         file=sys.stderr,
     )
+
+
+def _meter_payload(meter) -> dict:
+    """Ledger-shaped view of a :class:`~repro.perf.RuntimeMeter`:
+    deterministic counters and host wall-clock timings, kept apart so
+    byte-sensitive consumers can drop the timings block wholesale."""
+    return {"counters": meter.snapshot(), "timings": meter.timings()}
 
 
 def _ledger_guard(args: argparse.Namespace, command: str, config, started):
@@ -340,6 +350,10 @@ def _cmd_run_body(args: argparse.Namespace, config, started) -> int:
         "cold-start %",
         100 * controller.env.platform.cold_start_fraction(),
     )
+    sim_meter = controller.env.sim.meter
+    table.add_row("sim events", sim_meter.events_dispatched)
+    table.add_row("fast-lane events", sim_meter.fast_lane_hits)
+    table.add_row("plans computed", sim_meter.plans_computed)
     if plane is not None:
         table.add_row("alerts fired", len(plane.engine.alerts))
         table.add_row("actions applied", len(plane.remediation.actions))
@@ -375,6 +389,7 @@ def _cmd_run_body(args: argparse.Namespace, config, started) -> int:
         wall_s=time.perf_counter() - started,
         metrics=metrics,
         artifacts=(args.trace, args.save_report, args.actions_out),
+        meter=_meter_payload(sim_meter),
     )
     return 0 if not report.failures else 1
 
@@ -632,6 +647,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "executed": result.executed,
         },
         artifacts=(args.out, args.manifest),
+        meter=_meter_payload(runner.meter),
     )
     return 0
 
@@ -734,6 +750,8 @@ def _cmd_fleet_body(args, topology, spec, config, started) -> int:
     table.add_row("platform bill $", aggregates["platform_usd"])
     table.add_row("cold-start %", 100 * aggregates["cold_start_fraction"])
     table.add_row("sim events", aggregates["sim_events"])
+    if result.meter is not None:
+        table.add_row("merge bytes", result.meter.merge_bytes)
     if result.health is not None:
         fleet_rollup = result.health["fleet"]
         table.add_row("fleet status", fleet_rollup["status"])
@@ -794,6 +812,9 @@ def _cmd_fleet_body(args, topology, spec, config, started) -> int:
         wall_s=wall_s,
         metrics=metrics,
         artifacts=(args.out, args.health_out, args.actions_out),
+        meter=(
+            _meter_payload(result.meter) if result.meter is not None else None
+        ),
     )
     return 0 if not aggregates["failures"] else 1
 
@@ -928,6 +949,137 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         table.add_row(stage.name, stage.duration_s, stage.detail[:60])
     print(table)
     return 0 if run.promoted else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.perf import bench as perf_bench
+
+    if args.bench_command == "run":
+        if args.short:
+            # Bench modules read REPRO_BENCH_SHORT at import time, so the
+            # flag must be in the environment before the registry loads.
+            os.environ["REPRO_BENCH_SHORT"] = "1"
+        registry = perf_bench.load_registry()
+        ordered = [
+            registry[spec.name]
+            for module in perf_bench.REGISTERED_MODULES
+            for spec in sorted(registry.values(), key=lambda s: s.name)
+            if spec.module == module
+        ]
+        if args.bench:
+            unknown = sorted(set(args.bench) - set(registry))
+            if unknown:
+                raise SystemExit(
+                    f"unknown benchmark(s) {unknown}; registered: "
+                    f"{sorted(registry)}"
+                )
+            ordered = [spec for spec in ordered if spec.name in set(args.bench)]
+        mode = "short" if args.short else "full"
+        results = {}
+        table = Table(
+            ["bench", "wall s", "primary metric"],
+            title="Benchmark run",
+            precision=3,
+        )
+        for spec in ordered:
+            started = time.perf_counter()
+            spec.runner()
+            wall = time.perf_counter() - started
+            payload = perf_bench.LAST_SUMMARIES.get(spec.name)
+            if payload is None:
+                raise SystemExit(
+                    f"benchmark {spec.name!r} ran but recorded no summary "
+                    "(its runner must call write_bench_summary)"
+                )
+            results[spec.name] = payload
+            primary = ""
+            if spec.primary is not None and spec.primary in payload:
+                primary = f"{spec.primary}={payload[spec.primary]}"
+            table.add_row(spec.name, wall, primary)
+        document = perf_bench.build_document(results, mode)
+        print(table)
+        print(f"mode: {mode}; {len(results)} benchmark(s) executed")
+        if args.out:
+            from repro.sweep.spec import canonical_json
+
+            Path(args.out).write_text(canonical_json(document) + "\n")
+            print(f"bench document written to {args.out}")
+        history_path = perf_bench.resolve_history_path(args.history)
+        if history_path is not None:
+            try:
+                index = perf_bench.append_history(history_path, document)
+            except OSError as error:
+                print(f"warning: history append failed: {error}",
+                      file=sys.stderr)
+            else:
+                print(f"history: entry #{index} -> {history_path}",
+                      file=sys.stderr)
+        return 0
+
+    if args.bench_command == "compare":
+        from repro.perf.check import main as check_main
+
+        argv: List[str] = [args.fresh]
+        for name in args.bench or ():
+            argv += ["--bench", name]
+        if args.committed:
+            argv += ["--committed", args.committed]
+        if args.baseline_dir:
+            argv += ["--baseline-dir", args.baseline_dir]
+        if args.threshold is not None:
+            argv += ["--threshold", str(args.threshold)]
+        if args.history is not None:
+            argv += ["--history", args.history]
+        if args.no_trend:
+            argv.append("--no-trend")
+        if args.trend_fail:
+            argv.append("--trend-fail")
+        return check_main(argv)
+
+    # history
+    path = perf_bench.resolve_history_path(args.history)
+    if path is None:
+        print("error: bench history is disabled (empty path)",
+              file=sys.stderr)
+        return 2
+    entries = perf_bench.read_history(path)
+    if not entries:
+        print(f"bench history {path}: no entries")
+        return 0
+    if args.metric:
+        series = perf_bench.history_series(entries, args.metric,
+                                           mode=args.mode)
+        if not series:
+            print(f"bench history {path}: no values for {args.metric!r}")
+            return 0
+        for value in series:
+            print(value)
+        return 0
+    if args.last:
+        entries = entries[-args.last:]
+    table = Table(
+        ["#", "recorded_at", "mode", "git", "metrics"],
+        title=f"Bench history ({path})",
+    )
+    for index, entry in enumerate(entries):
+        fingerprint = entry.get("fingerprint", {})
+        metrics = entry.get("metrics", {})
+        brief = ", ".join(
+            f"{key}={metrics[key]}" for key in sorted(metrics)[:3]
+        )
+        table.add_row(
+            index,
+            fingerprint.get("recorded_at", "?"),
+            entry.get("mode", "?"),
+            fingerprint.get("git_rev") or "-",
+            brief,
+        )
+    print(table)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1140,6 +1292,63 @@ def build_parser() -> argparse.ArgumentParser:
                             "stderr (completion order is nondeterministic)")
     ledger_flags(fleet)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the registered benchmark suite and gate on baselines",
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    brun = bsub.add_parser(
+        "run", help="execute registered benchmarks, emit repro.bench/1 JSON"
+    )
+    brun.add_argument("--short", action="store_true",
+                      help="short mode: reduced workloads (CI-sized)")
+    brun.add_argument("--bench", action="append", default=None,
+                      help="run only this benchmark (repeatable); "
+                           "default: the full registered suite")
+    brun.add_argument("--out", default=None,
+                      help="write the canonical repro.bench/1 document here")
+    brun.add_argument("--history", default=None,
+                      help="bench-history JSONL path (default "
+                           ".repro_bench_history.jsonl; REPRO_BENCH_HISTORY "
+                           "env overrides; empty string disables)")
+    bcompare = bsub.add_parser(
+        "compare",
+        help="check a fresh bench document against committed baselines",
+    )
+    bcompare.add_argument("fresh",
+                          help="repro.bench/1 document (or legacy "
+                               "BENCH_*.json summary) to check")
+    bcompare.add_argument("--bench", action="append", default=None,
+                          help="check only this benchmark (repeatable)")
+    bcompare.add_argument("--committed", default=None,
+                          help="explicit committed baseline file (single "
+                               "bench only)")
+    bcompare.add_argument("--baseline-dir", default=None,
+                          help="directory of committed BENCH_<name>.json "
+                               "baselines (default: repo benchmarks/)")
+    bcompare.add_argument("--threshold", type=float, default=None,
+                          help="override the primary metric's threshold")
+    bcompare.add_argument("--history", default=None,
+                          help="bench-history JSONL for trend analysis")
+    bcompare.add_argument("--no-trend", action="store_true",
+                          help="skip the trend sentinel")
+    bcompare.add_argument("--trend-fail", action="store_true",
+                          help="trend drifts fail instead of warn")
+    bhistory = bsub.add_parser(
+        "history", help="show the benchmark history ledger"
+    )
+    bhistory.add_argument("--history", default=None,
+                          help="bench-history JSONL path (default "
+                               ".repro_bench_history.jsonl)")
+    bhistory.add_argument("--last", type=int, default=0,
+                          help="only the last N entries")
+    bhistory.add_argument("--metric", default=None,
+                          help="print one '<bench>.<metric>' series, "
+                               "one value per line, oldest first")
+    bhistory.add_argument("--mode", default=None,
+                          help="with --metric: only entries of this mode "
+                               "(short | full)")
+
     ledger = sub.add_parser(
         "ledger", help="inspect the append-only run ledger"
     )
@@ -1176,6 +1385,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 COMMANDS = {
     "analyze": cmd_analyze,
+    "bench": cmd_bench,
     "fleet": cmd_fleet,
     "diff": cmd_diff,
     "ledger": cmd_ledger,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.apps.graph import AppGraph
@@ -498,6 +499,8 @@ class OffloadController:
         """
         self._planned_input_mb = input_mb
         tracer = self.env.sim.tracer
+        meter = self.env.sim.meter
+        plan_started = perf_counter() if meter.enabled else 0.0
         plan_span = tracer.start_span(
             "plan", category=PHASE_PLAN, app=self.app.name, input_mb=input_mb
         )
@@ -524,6 +527,9 @@ class OffloadController:
             n_cloud=len(partition.cloud),
             n_local=len(self.app.component_names) - len(partition.cloud),
         )
+        meter.plans_computed += 1
+        if meter.enabled:
+            meter.plan_wall_s += perf_counter() - plan_started
         return partition
 
     def _function_name(self, component: str) -> str:

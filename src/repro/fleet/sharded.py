@@ -60,6 +60,7 @@ loosens the bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -95,6 +96,7 @@ from repro.monitor.fleet import (
 from repro.monitor.monitor import Monitor
 from repro.monitor.slo import SLO, BurnRateRule
 from repro.network.profiles import cloud_path, profile as connectivity_profile
+from repro.perf.meter import RuntimeMeter
 from repro.serverless.platform import PlatformConfig, ServerlessPlatform
 from repro.sim import Simulator
 from repro.sim.rng import SeedSequenceRegistry
@@ -374,6 +376,7 @@ def _simulate_group(
         # skip decision depends only on the group itself, so every
         # shard layout takes the same path.
         record["ues"] = _zero_ue_records(spec, zones)
+        record["meter"] = RuntimeMeter().snapshot()
         if spec.monitor:
             record["monitor"] = _empty_snapshot(spec, names).to_dict()
         if spec.remediate:
@@ -533,6 +536,10 @@ def _simulate_group(
     record["platform_usd"] = float(platform.total_cost)
     record["sim_events"] = sim.events_processed
     record["sim_end_s"] = float(sim.now)
+    # The group's meter snapshot is a pure function of the simulated
+    # work (lane hits, plans), so it is byte-identical under every
+    # shard layout — it rides the record into the merged document.
+    record["meter"] = sim.meter.snapshot()
     if monitor is not None:
         # A side channel like ``windows``: rides the shard result, is
         # merged via merge_snapshots, and never enters the merged fleet
@@ -651,6 +658,7 @@ def merge_group_records(
     energy = 0.0
     cost = 0.0
     platform_usd = 0.0
+    meter = RuntimeMeter()
     for group in ordered:
         ues = sorted(group["ues"], key=lambda u: u["ue"])
         for ue in ues:
@@ -669,6 +677,7 @@ def merge_group_records(
         totals["invocations"] += group["invocations"]
         totals["sim_events"] += group["sim_events"]
         platform_usd += group["platform_usd"]
+        meter.absorb_snapshot(group.get("meter", {}))
         groups_out.append(
             {
                 "zones": list(group["zones"]),
@@ -678,6 +687,7 @@ def merge_group_records(
                 "platform_usd": group["platform_usd"],
                 "sim_events": group["sim_events"],
                 "sim_end_s": group["sim_end_s"],
+                "meter": dict(group.get("meter", {})),
             }
         )
     if len(seen_ues) != topology.total_ues:
@@ -715,6 +725,9 @@ def merge_group_records(
         "spec": spec.to_dict(),
         "groups": groups_out,
         "aggregates": aggregates,
+        # Counters only (ints, work-determined): byte-stable across
+        # shard and worker counts like everything else in the document.
+        "meter": meter.snapshot(),
     }
 
 
@@ -871,6 +884,10 @@ def build_fleet_health(
             "platform_usd": aggregates["platform_usd"],
             "total_cloud_cost_usd": aggregates["total_cloud_cost_usd"],
         },
+        # Group-summed runtime meter from the merged document: a pure
+        # function of the simulated work, so the health document stays
+        # byte-identical across shard/worker counts.
+        "meter": dict(document.get("meter", {})),
         "zones": dict(sorted(zones.items())),
         "entities": entity_health,
         "evaluated_at": engine_report["evaluated_at"],
@@ -928,6 +945,12 @@ class ShardedFleetResult:
     document: Dict[str, Any]
     error_bound: Optional[Dict[str, Any]] = None
     health: Optional[Dict[str, Any]] = None
+    #: Host-side meter: the folded group counters plus the fan-out/merge
+    #: stats only the driver can see (shard runs, merge bytes/seconds).
+    meter: Optional[RuntimeMeter] = None
+    #: The merged document's canonical text, serialised once at merge
+    #: time (it is also what ``merge_bytes`` measured).
+    merged_text: Optional[str] = None
 
     @property
     def aggregates(self) -> Dict[str, Any]:
@@ -942,6 +965,8 @@ class ShardedFleetResult:
         """Canonical JSON of the merged document, newline-terminated —
         byte-identical across shard counts and worker counts whenever
         :attr:`exact` holds."""
+        if self.merged_text is not None:
+            return self.merged_text
         return canonical_json(self.document) + "\n"
 
     def health_json(self) -> str:
@@ -1004,12 +1029,24 @@ def run_sharded(
     runner = SweepRunner(
         sweep, workers=workers, cache_dir=cache_dir, progress=progress
     )
+    meter = RuntimeMeter()
+    meter.shard_runs += len(configs)
+    fanout_started = perf_counter() if meter.enabled else 0.0
     result = runner.run()
+    if meter.enabled:
+        meter.shard_wall_s += perf_counter() - fanout_started
     shard_results = result.results_for(configs)
     group_records = [
         group for shard in shard_results for group in shard["groups"]
     ]
+    merge_started = perf_counter() if meter.enabled else 0.0
     document = merge_group_records(spec, group_records)
+    merged_text = canonical_json(document) + "\n"
+    if meter.enabled:
+        meter.merge_wall_s += perf_counter() - merge_started
+    meter.merge_bytes += len(merged_text.encode("utf-8"))
+    meter.absorb(runner.meter)
+    meter.absorb_snapshot(document["meter"])
     bound = compute_error_bound(spec, plan, group_records)
     health = None
     if spec.monitor:
@@ -1025,7 +1062,7 @@ def run_sharded(
         )
     return ShardedFleetResult(
         spec=spec, plan=plan, document=document, error_bound=bound,
-        health=health,
+        health=health, meter=meter, merged_text=merged_text,
     )
 
 

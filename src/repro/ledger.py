@@ -113,6 +113,11 @@ class LedgerEntry:
     argv: List[str] = field(default_factory=list)
     git_rev: Optional[str] = None
     status: str = "ok"
+    #: Runtime self-metering of the invocation: ``{"counters": {...},
+    #: "timings": {...}}`` from the run's :class:`repro.perf.RuntimeMeter`
+    #: snapshot.  Kept separate from ``metrics`` (experiment outcomes) so
+    #: direction-aware metric diffs never mix in machine-load noise.
+    meter: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -127,6 +132,7 @@ class LedgerEntry:
             "argv": self.argv,
             "git_rev": self.git_rev,
             "status": self.status,
+            "meter": self.meter,
         }
 
     @staticmethod
@@ -142,6 +148,8 @@ class LedgerEntry:
             argv=[str(a) for a in data.get("argv", ())],
             git_rev=data.get("git_rev"),
             status=str(data.get("status", "ok")),
+            # Legacy records (pre-meter) read back with an empty meter.
+            meter=dict(data.get("meter", {})),
         )
 
 
@@ -153,6 +161,7 @@ def make_entry(
     artifacts: Sequence[str] = (),
     argv: Sequence[str] = (),
     status: str = "ok",
+    meter: Optional[Mapping[str, Any]] = None,
 ) -> LedgerEntry:
     """Build an entry, stamping config hash, git rev, and UTC time."""
     return LedgerEntry(
@@ -166,6 +175,7 @@ def make_entry(
         argv=[str(a) for a in argv],
         git_rev=git_revision(),
         status=status,
+        meter=dict(meter or {}),
     )
 
 

@@ -534,6 +534,15 @@ def fleet_health_to_prometheus(document: Mapping[str, Any]) -> str:
             registry.gauge("fleet_zone_cost_usd", zone=zone).set(
                 float(entry["cost_usd"])
             )
+    meter_snapshot = document.get("meter", {})
+    if meter_snapshot:
+        from repro.perf.meter import RuntimeMeter
+
+        meter = RuntimeMeter()
+        meter.absorb_snapshot(meter_snapshot)
+        # Counters only: a snapshot carries no wall clocks, so the
+        # timing gauges would all read a misleading zero.
+        meter.publish(registry, include_timings=False)
     alert_counts: Dict[Tuple[str, str, str], int] = {}
     for alert in document.get("alerts", ()):
         key = (alert["slo"], alert["rule"], alert["severity"])

@@ -1,0 +1,72 @@
+"""Performance observatory: self-metering, bench harness, sentinel.
+
+Three layers, one subsystem:
+
+* :mod:`repro.perf.meter` — the zero-allocation :class:`RuntimeMeter`
+  threaded through the kernel dispatch loop, controller plan path,
+  sweep runner, and sharded fleet; deterministic counter snapshots land
+  in reports and ledger records, wall timings stay provenance-only.
+* :mod:`repro.perf.bench` — the unified benchmark registry behind
+  ``repro bench``: each ``benchmarks/bench_*.py`` registers its metrics
+  (direction + threshold), runs produce one canonical ``repro.bench/1``
+  document with a machine fingerprint, and every run appends to the
+  benchmark history ledger.
+* :mod:`repro.perf.check` — the regression sentinel
+  (``tools/check_bench.py``): per-metric direction-aware thresholds
+  against committed baselines plus a Holt-linear forecast over the
+  history that flags slow drifts before any single run trips a gate.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BenchSpec,
+    HISTORY_SCHEMA,
+    MetricSpec,
+    REGISTERED_MODULES,
+    append_history,
+    build_document,
+    flat_payload,
+    history_metrics,
+    history_series,
+    load_registry,
+    machine_fingerprint,
+    read_history,
+    record_summary,
+    register_bench,
+    resolve_history_path,
+    scrub_volatile,
+)
+from repro.perf.check import (
+    CheckOutcome,
+    evaluate_bench,
+    evaluate_metric,
+    trend_outcomes,
+)
+from repro.perf.meter import NULL_METER, NullRuntimeMeter, RuntimeMeter
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSpec",
+    "CheckOutcome",
+    "HISTORY_SCHEMA",
+    "MetricSpec",
+    "NULL_METER",
+    "NullRuntimeMeter",
+    "REGISTERED_MODULES",
+    "RuntimeMeter",
+    "append_history",
+    "build_document",
+    "evaluate_bench",
+    "evaluate_metric",
+    "flat_payload",
+    "history_metrics",
+    "history_series",
+    "load_registry",
+    "machine_fingerprint",
+    "read_history",
+    "record_summary",
+    "register_bench",
+    "resolve_history_path",
+    "scrub_volatile",
+    "trend_outcomes",
+]

@@ -33,6 +33,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.perf.meter import RuntimeMeter
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -235,9 +236,9 @@ class Simulator:
         "_heap",
         "_fast",
         "_sequence",
-        "_event_count",
         "_entry_pool",
         "tracer",
+        "meter",
     )
 
     def __init__(self, start: float = 0.0) -> None:
@@ -249,7 +250,6 @@ class Simulator:
         #: it responds to ``_run_callbacks``.
         self._fast: deque = deque()
         self._sequence = 0
-        self._event_count = 0
         #: Recycled ``[when, seq, event]`` heap entries.  Popped entries
         #: return here with their event slot cleared, so steady-state
         #: timeout traffic performs no list allocations.
@@ -260,6 +260,12 @@ class Simulator:
         #: never touches it.  Install a real one with
         #: :func:`repro.telemetry.attach_tracer`.
         self.tracer = NULL_TRACER
+        #: Always-on self-metering.  The dispatch loops split the former
+        #: event counter into fast-lane vs heap hits — same per-event
+        #: cost (one int add on a hoisted local) — and the controller's
+        #: plan path books into the same meter.  ``events_processed``
+        #: reads the two lanes back; reports snapshot the whole meter.
+        self.meter = RuntimeMeter()
 
     # -- clock ----------------------------------------------------------------
 
@@ -271,7 +277,8 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         """Total number of events the kernel has dispatched."""
-        return self._event_count
+        meter = self.meter
+        return meter.fast_lane_hits + meter.heap_hits
 
     # -- event construction -----------------------------------------------
 
@@ -359,6 +366,7 @@ class Simulator:
         """Dispatch the single earliest pending event."""
         fast = self._fast
         heap = self._heap
+        meter = self.meter
         if fast:
             # Same-time heap entries were scheduled before the clock
             # arrived here, so they precede everything in the fast lane.
@@ -367,17 +375,19 @@ class Simulator:
                 event = entry[2]
                 entry[2] = None
                 self._entry_pool.append(entry)
+                meter.heap_hits += 1
             else:
                 event = fast.popleft()
+                meter.fast_lane_hits += 1
         elif heap:
             entry = heapq.heappop(heap)
             self._now = entry[0]
             event = entry[2]
             entry[2] = None
             self._entry_pool.append(entry)
+            meter.heap_hits += 1
         else:
             raise SimulationError("step() called with no pending events")
-        self._event_count += 1
         event._run_callbacks()
 
     def peek(self) -> float:
@@ -401,6 +411,7 @@ class Simulator:
         heap = self._heap
         pool = self._entry_pool
         pop = heapq.heappop
+        meter = self.meter
 
         if isinstance(until, Event):
             sentinel = until
@@ -411,20 +422,22 @@ class Simulator:
                         event = entry[2]
                         entry[2] = None
                         pool.append(entry)
+                        meter.heap_hits += 1
                     else:
                         event = fast.popleft()
+                        meter.fast_lane_hits += 1
                 elif heap:
                     entry = pop(heap)
                     self._now = entry[0]
                     event = entry[2]
                     entry[2] = None
                     pool.append(entry)
+                    meter.heap_hits += 1
                 else:
                     raise SimulationError(
                         "simulation ran out of events before the target "
                         "event triggered (deadlock?)"
                     )
-                self._event_count += 1
                 event._run_callbacks()
             if sentinel._ok:
                 return sentinel._value
@@ -444,8 +457,10 @@ class Simulator:
                     event = entry[2]
                     entry[2] = None
                     pool.append(entry)
+                    meter.heap_hits += 1
                 else:
                     event = fast.popleft()
+                    meter.fast_lane_hits += 1
             elif heap:
                 when = heap[0][0]
                 if when > horizon:
@@ -455,9 +470,9 @@ class Simulator:
                 event = entry[2]
                 entry[2] = None
                 pool.append(entry)
+                meter.heap_hits += 1
             else:
                 break
-            self._event_count += 1
             event._run_callbacks()
         if horizon != float("inf"):
             self._now = horizon

@@ -34,6 +34,7 @@ from typing import (
     Tuple,
 )
 
+from repro.perf.meter import RuntimeMeter
 from repro.sweep.spec import (
     SweepSpec,
     canonical_json,
@@ -82,10 +83,19 @@ class SweepProgress:
 class SweepResult:
     """The merged outcome of one sweep, ordered by canonical config key."""
 
-    def __init__(self, scenario: str, entries: Iterable[SweepEntry]) -> None:
+    def __init__(
+        self,
+        scenario: str,
+        entries: Iterable[SweepEntry],
+        meter: Optional[RuntimeMeter] = None,
+    ) -> None:
         self.scenario = scenario
         self.entries: List[SweepEntry] = sorted(entries, key=lambda e: e.key)
         self._by_key = {entry.key: entry for entry in self.entries}
+        #: The runner's self-metering (cache hits/misses, wall).  Kept out
+        #: of :meth:`merged` — which is byte-compared across cache states —
+        #: and surfaced through :meth:`manifest` instead.
+        self.meter = meter
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -130,11 +140,14 @@ class SweepResult:
 
     def manifest(self) -> Dict[str, Any]:
         """Execution manifest: per-config cache keys and hit/miss state."""
+        meter = self.meter
         return {
             "scenario": self.scenario,
             "total": len(self.entries),
             "executed": self.executed,
             "cached": self.cached,
+            "meter": meter.snapshot() if meter is not None else {},
+            "timings": meter.timings() if meter is not None else {},
             "entries": [
                 {
                     "key": entry.key,
@@ -196,6 +209,8 @@ class SweepRunner:
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        #: Runner self-metering: configs, cache hit/miss, sweep wall.
+        self.meter = RuntimeMeter()
 
     def run(self) -> SweepResult:
         """Execute every non-cached config and return the merged result."""
@@ -225,6 +240,8 @@ class SweepRunner:
                     )
                 )
 
+        meter = self.meter
+        meter.sweep_configs += total
         results: Dict[str, Any] = {}
         cached_keys: set[str] = set()
         pending: List[Tuple[str, str, Dict[str, Any]]] = []
@@ -233,9 +250,11 @@ class SweepRunner:
             if hit is not _MISS:
                 results[key] = hit
                 cached_keys.add(key)
+                meter.sweep_cache_hits += 1
                 _notify(key, hit, True)
             else:
                 pending.append((key, digest, config))
+        meter.sweep_cache_misses += len(pending)
 
         if pending:
             fresh = self._execute(
@@ -257,7 +276,9 @@ class SweepRunner:
             )
             for key, digest, config in keyed
         ]
-        return SweepResult(ref, entries)
+        if meter.enabled:
+            meter.sweep_wall_s += time.perf_counter() - started
+        return SweepResult(ref, entries, meter=meter)
 
     # -- execution ---------------------------------------------------------
 

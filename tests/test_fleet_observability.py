@@ -79,11 +79,17 @@ class TestByteIdentity:
         from repro.sweep import canonical_json
 
         reference = canonical_json(reference_health(spec)) + "\n"
+        reference_meter = reference_health(spec)["meter"]
         for n_shards in (1, 2, 4):
             result = run_sharded(spec, n_shards=n_shards)
             assert result.exact
             assert result.health_json() == reference, (
                 f"shards={n_shards} health diverged ({chaos})"
+            )
+            # The group-summed meter snapshot rides the health document
+            # and must be byte-stable across shard layouts too.
+            assert result.health["meter"] == reference_meter, (
+                f"shards={n_shards} meter snapshot diverged ({chaos})"
             )
 
     def test_health_byte_identical_across_worker_counts(self):
@@ -92,6 +98,7 @@ class TestByteIdentity:
         pooled = run_sharded(spec, n_shards=2, workers=2)
         assert serial.health_json() == pooled.health_json()
         assert serial.alert_log == pooled.alert_log
+        assert serial.health["meter"] == pooled.health["meter"]
 
 
 class TestHealthDocument:

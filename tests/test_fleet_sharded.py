@@ -69,11 +69,18 @@ class TestDifferential:
     def test_uncoupled_byte_identical_across_shard_counts(self, topology):
         spec = small_spec(topology=topology)
         reference = reference_json(spec)
+        reference_meter = reference_report(spec)["meter"]
         for n_shards in (1, 2, 4):
             result = run_sharded(spec, n_shards=n_shards)
             assert result.exact
             assert result.merged_json() == reference, (
                 f"shards={n_shards} diverged from the reference"
+            )
+            # The runtime meter snapshot is part of the byte-identity
+            # contract: counters are work-determined ints, so every
+            # shard layout must sum to the same numbers.
+            assert result.document["meter"] == reference_meter, (
+                f"shards={n_shards} meter snapshot diverged"
             )
 
     @given(topology=topologies(min_zones=2, couple="pairs"))
@@ -120,6 +127,8 @@ class TestDifferential:
         reference = reference_json(spec)
         result = run_sharded(spec, n_shards=4, workers=2)
         assert result.merged_json() == reference
+        serial = run_sharded(spec, n_shards=4, workers=1)
+        assert result.document["meter"] == serial.document["meter"]
 
     def test_empty_and_zero_job_shards_merge(self):
         """More shards than zones plus zero-UE/zero-job zones: the

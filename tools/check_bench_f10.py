@@ -1,18 +1,17 @@
 """Gate the F10 sharded-fleet bench: byte identity always, scaling
 where the host can show it.
 
-CI runs ``benchmarks/bench_f10_sharding.py`` (short mode on the shared
-runners) and calls this with the freshly written ``BENCH_F10.json``.
-Two rules:
+Thin wrapper over the unified checker (``tools/check_bench.py`` /
+:mod:`repro.perf.check`), preserving the historical interface and
+rules:
 
 * ``byte_identical`` must be true — the merged fleet report diverging
   across shard counts is a correctness bug on any machine, so it fails
-  the build unconditionally.
+  the build unconditionally;
 * ``speedup_4w >= --threshold`` (default 3.0) is enforced only when the
-  JSON records a full-mode run on a host with at least 4 cores.  On
-  fewer cores (or in short mode, where the workload is too small to
-  amortise pool startup) the scaling number is physically meaningless
-  and is reported for context only.
+  JSON records a full-mode run on a host with at least 4 cores; on
+  fewer cores (or in short mode) the scaling number is physically
+  meaningless and the check self-disarms.
 
 Usage::
 
@@ -22,9 +21,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def main(argv=None) -> int:
@@ -36,44 +38,14 @@ def main(argv=None) -> int:
                              "runs (default 3.0)")
     args = parser.parse_args(argv)
 
-    fresh = json.loads(args.fresh.read_text())
-    cores = int(fresh.get("cores", 1))
-    mode = fresh.get("mode", "short")
-    speedup = float(fresh.get("speedup_4w", 0.0))
+    from repro.perf.check import main as check_main
 
-    for workers, ues_per_s in sorted(
-        fresh.get("ues_per_wall_s", {}).items(), key=lambda kv: int(kv[0])
-    ):
-        print(f"  {workers:>2} workers: {ues_per_s:10.0f} UEs/wall-s")
-    print(f"  4-worker speedup {speedup:.2f}x "
-          f"({mode} mode, {cores} cores, {fresh.get('ues', '?')} UEs)")
-
-    if not fresh.get("byte_identical", False):
-        print(
-            "FAIL: merged fleet report is NOT byte-identical across shard "
-            "counts — sharding changed the simulation's results",
-            file=sys.stderr,
-        )
-        return 1
-
-    if cores >= 4 and mode == "full":
-        if speedup < args.threshold:
-            print(
-                f"FAIL: 4-worker speedup {speedup:.2f}x is below the "
-                f"{args.threshold:.1f}x floor on a {cores}-core full-mode "
-                "run — shard fan-out has stopped scaling",
-                file=sys.stderr,
-            )
-            return 1
-        print(f"OK: byte-identical merge, speedup {speedup:.2f}x >= "
-              f"{args.threshold:.1f}x")
-        return 0
-
-    print(
-        f"OK: byte-identical merge; scaling gate skipped "
-        f"({cores} cores, {mode} mode — needs >=4 cores and full mode)"
-    )
-    return 0
+    return check_main([
+        str(args.fresh),
+        "--bench", "F10",
+        "--threshold", str(args.threshold),
+        "--no-trend",
+    ])
 
 
 if __name__ == "__main__":

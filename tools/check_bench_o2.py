@@ -1,15 +1,12 @@
 """Gate kernel throughput against the committed O2 baseline.
 
-CI runs ``benchmarks/bench_o2_kernel.py`` in short mode, then calls this
-with the freshly written ``BENCH_O2.json``.  The fresh run's pure-event
-throughput must stay within ``--threshold`` (default 20%) of the number
-committed in ``benchmarks/BENCH_O2.json`` — a drop past that on the same
-op mix means a kernel hot-path regression, not runner noise.
-
-Only the pure-event lane is gated: it is the most allocation-sensitive
-microbench and the least dependent on scheduler jitter.  The other lanes
-are reported for context but do not fail the build (CI runners vary too
-much for hard gates on the contended benches).
+Thin wrapper over the unified checker (``tools/check_bench.py`` /
+:mod:`repro.perf.check`), preserving the historical interface: the
+fresh run's pure-event throughput must stay within ``--threshold``
+(default 20%) of the number committed in ``benchmarks/BENCH_O2.json``.
+Only the pure-event lane is gated — it is the most allocation-sensitive
+microbench and the least dependent on scheduler jitter; the other lanes
+are reported for context by the fresh table itself.
 
 Usage::
 
@@ -19,11 +16,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
 COMMITTED = REPO_ROOT / "benchmarks" / "BENCH_O2.json"
 
 
@@ -37,32 +36,15 @@ def main(argv=None) -> int:
                         help="max fractional events/sec drop (default 0.20)")
     args = parser.parse_args(argv)
 
-    fresh = json.loads(args.fresh.read_text())
-    committed = json.loads(args.committed.read_text())
+    from repro.perf.check import main as check_main
 
-    baseline = committed["events_per_s_pure"]
-    measured = fresh["events_per_s_pure"]
-    ratio = measured / baseline
-    floor = 1.0 - args.threshold
-
-    for name, ops_per_s in sorted(fresh["ops_per_s"].items()):
-        reference = committed["ops_per_s"].get(name)
-        rel = f"{ops_per_s / reference:6.2f}x vs committed" if reference else ""
-        print(f"  {name:>16}: {ops_per_s:12.0f} ops/s  {rel}")
-
-    if ratio < floor:
-        print(
-            f"FAIL: pure-event throughput {measured:.0f}/s is "
-            f"{100 * (1 - ratio):.1f}% below the committed "
-            f"{baseline:.0f}/s (allowed drop {100 * args.threshold:.0f}%)",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: pure-event throughput at {100 * ratio:.1f}% of committed "
-        f"baseline (floor {100 * floor:.0f}%)"
-    )
-    return 0
+    return check_main([
+        str(args.fresh),
+        "--bench", "O2",
+        "--committed", str(args.committed),
+        "--threshold", str(args.threshold),
+        "--no-trend",
+    ])
 
 
 if __name__ == "__main__":
