@@ -83,6 +83,7 @@ HISTORY_ENV = "REPRO_BENCH_HISTORY"
 REGISTERED_MODULES = (
     "bench_o1_overhead",
     "bench_o2_kernel",
+    "bench_o3_dispatch",
     "bench_p1_plans",
     "bench_f10_sharding",
     "bench_f11_fleet_obs",

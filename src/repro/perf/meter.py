@@ -34,6 +34,9 @@ __all__ = ["NULL_METER", "NullRuntimeMeter", "RuntimeMeter"]
 _COUNTER_SLOTS = (
     "fast_lane_hits",     # kernel: events dispatched via the immediate lane
     "heap_hits",          # kernel: events dispatched via the binary heap
+    "batched_events",     # kernel: events dispatched inside run()'s
+                          # same-time batch drains (step() dispatches are
+                          # unbatched and do not count)
     "plans_computed",     # controller: plan() completions (plans/sec seed)
     "sweep_configs",      # sweep: configs resolved (cache hits + misses)
     "sweep_cache_hits",   # sweep: configs served from the on-disk cache
@@ -44,10 +47,11 @@ _COUNTER_SLOTS = (
 
 #: Float wall-clock slots.  Host-dependent provenance, never identity.
 _TIMING_SLOTS = (
-    "plan_wall_s",   # controller: seconds inside plan()
-    "sweep_wall_s",  # sweep: seconds inside SweepRunner.run()
-    "shard_wall_s",  # fleet: seconds fanning the shards out
-    "merge_wall_s",  # fleet: seconds merging + serialising the documents
+    "plan_wall_s",          # controller: seconds inside plan()
+    "sweep_wall_s",         # sweep: seconds inside SweepRunner.run()
+    "shard_wall_s",         # fleet: seconds fanning the shards out
+    "merge_wall_s",         # fleet: seconds merging + serialising the documents
+    "kernel_flush_wall_s",  # kernel: seconds inside run()'s dispatch drain
 )
 
 

@@ -1,0 +1,58 @@
+"""Kernel core selection: ``REPRO_SIM_CORE=pure|compiled``.
+
+The simulator ships two interchangeable cores:
+
+* **pure** (default) — the pure-Python kernel in :mod:`repro.sim.kernel`
+  and :mod:`repro.sim.events`.  Always available; the reference
+  implementation the differential test suite trusts.
+* **compiled** — the C extension :mod:`repro.sim._ckernel` (built by
+  ``tools/build_core.py``), which replaces the ``Event`` type, the fast
+  lane, and the batched ``run()`` dispatch loop.  Dispatch order, golden
+  traces, and meter counters are byte-identical to the pure core; only
+  wall-clock throughput changes.
+
+Selection is read once at import: ``REPRO_SIM_CORE=compiled`` opts in,
+anything else (or an unbuilt extension) falls back to pure with a
+warning, never an error — simulations must run everywhere.
+
+The extension is *imported* whenever it is available, independent of the
+active core, so tests can exercise the compiled loop in-process (a
+Simulator whose ``_fast`` is a :class:`_ckernel.FastLane` dispatches
+through the C loop) while the session default stays pure.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["ACTIVE", "CKERNEL", "COMPILED_AVAILABLE", "REQUESTED"]
+
+REQUESTED = os.environ.get("REPRO_SIM_CORE", "") or "pure"
+if REQUESTED not in ("pure", "compiled"):
+    warnings.warn(
+        f"REPRO_SIM_CORE={REQUESTED!r} is not 'pure' or 'compiled'; "
+        "using the pure-Python core",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    REQUESTED = "pure"
+
+try:
+    from repro.sim import _ckernel as CKERNEL  # type: ignore[attr-defined]
+except ImportError:
+    CKERNEL = None  # type: ignore[assignment]
+
+COMPILED_AVAILABLE = CKERNEL is not None
+
+if REQUESTED == "compiled" and not COMPILED_AVAILABLE:
+    warnings.warn(
+        "REPRO_SIM_CORE=compiled but repro.sim._ckernel is not built; "
+        "falling back to the pure-Python core "
+        "(build it with: python tools/build_core.py)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+
+#: The core actually in effect for this process.
+ACTIVE = "compiled" if (REQUESTED == "compiled" and COMPILED_AVAILABLE) else "pure"

@@ -98,10 +98,15 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
-        self._trigger(True, value)
+        # The trigger guard is inlined (hot path): ``_ok`` stays at its
+        # construction-time ``True`` because only ``fail``/``_trigger``
+        # ever clear it and both are trigger-once guarded.
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._value = value
         # Append to the immediate fast lane directly: triggering can only
-        # happen once (``_trigger`` guards), so the kernel-side
-        # ``_scheduled`` bookkeeping is unnecessary on this path.
+        # happen once (guarded above), so the kernel-side ``_scheduled``
+        # bookkeeping is unnecessary on this path.
         self.sim._fast.append(self)
         return self
 
@@ -109,7 +114,10 @@ class Event:
         """Trigger the event as failed; waiters will see ``exception`` raised."""
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        self._trigger(False, exception)
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
         self.sim._fast.append(self)
         return self
 
@@ -127,6 +135,23 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+#: The pure-Python event type, kept importable under a stable name for
+#: differential tests even when the compiled core rebinds ``Event``.
+PurePythonEvent = Event
+
+from repro.sim._core import ACTIVE as _ACTIVE_CORE  # noqa: E402
+from repro.sim._core import CKERNEL as _CKERNEL  # noqa: E402
+
+if _CKERNEL is not None:
+    # Hand the C core the module-level singletons it must share with the
+    # pure implementation (the sentinel *is* the triggered-state flag).
+    _CKERNEL._bind_events(_PENDING, EventAlreadyTriggered)
+    if _ACTIVE_CORE == "compiled":
+        # Rebind before the subclasses below are defined so Timeout,
+        # conditions, and kernel.Process all inherit the C type.
+        Event = _CKERNEL.Event  # type: ignore[misc,assignment]  # noqa: F811
+
+
 class Timeout(Event):
     """An event that fires automatically after a simulated delay."""
 
@@ -137,8 +162,17 @@ class Timeout(Event):
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
         super().__init__(sim)
         self.delay = delay
-        self._trigger(True, value)
-        sim._enqueue_at(sim.now + delay, self)
+        # A fresh event is always pending, so the trigger guard is
+        # unnecessary; ``_ok`` is already True.
+        self._value = value
+        if delay == 0:
+            # Zero-delay fast path: skip the ``_enqueue_at`` clock
+            # comparison — ``now + 0.0 == now`` routes to the fast lane
+            # unconditionally.
+            self._scheduled = True
+            sim._fast.append(self)
+        else:
+            sim._enqueue_at(sim.now + delay, self)
 
 
 class _Condition(Event):

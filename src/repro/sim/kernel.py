@@ -17,7 +17,17 @@ scheduled *before* the clock arrived there (anything scheduled at the
 current time goes to the fast lane instead), so they always precede the
 fast lane's contents in insertion order.  ``step()`` therefore drains
 same-time heap entries first, then the fast lane FIFO — byte-identical
-dispatch order to a single global heap, at a fraction of the cost.  See
+dispatch order to a single global heap, at a fraction of the cost.
+
+``run()`` goes one step further and dispatches the fast lane in
+**batches** (O3): once the same-time heap entries are drained, nothing
+can re-enter the heap at the current timestamp — ``_enqueue_at`` routes
+every ``when == now`` item to the fast lane — so the whole lane can be
+drained without re-checking the heap or the clock per event.  Per-event
+bookkeeping (meter updates, the heap-front comparison, the clock read)
+is amortised across the batch; counters accumulate in locals and flush
+to the :class:`~repro.perf.meter.RuntimeMeter` when ``run()`` exits.
+Dispatch order is byte-identical to the per-event loop.  See
 ``docs/modeling.md`` ("Performance") for the full ordering argument.
 
 A :class:`Process` wraps a generator.  The generator yields
@@ -31,15 +41,33 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.perf.meter import RuntimeMeter
+from repro.sim._core import ACTIVE as _ACTIVE_CORE
+from repro.sim._core import CKERNEL as _CKERNEL
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.telemetry.tracer import NULL_TRACER
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling into the past)."""
+
+
+if _CKERNEL is not None:
+    _CKERNEL._bind_kernel(SimulationError)
+    _C_RUN = _CKERNEL.run
+    _C_FAST = _CKERNEL.FastLane
+else:
+    _C_RUN = None
+    _C_FAST = None
+
+#: What ``Simulator.__init__`` builds the fast lane from.  The compiled
+#: loop engages iff the lane is a ``FastLane`` (see ``run()``), so the
+#: core choice is per-simulator state, not global mode — tests construct
+#: compiled-loop simulators in-process regardless of REPRO_SIM_CORE.
+_FAST_LANE_FACTORY = _C_FAST if _ACTIVE_CORE == "compiled" else deque
 
 
 class _Bootstrap:
@@ -247,8 +275,9 @@ class Simulator:
         #: Immediate fast lane: FIFO of items scheduled at exactly
         #: ``self._now``.  Holds events plus the lightweight dispatch
         #: records (:class:`_Bootstrap`, :class:`_Throw`); everything in
-        #: it responds to ``_run_callbacks``.
-        self._fast: deque = deque()
+        #: it responds to ``_run_callbacks``.  A ``deque`` on the pure
+        #: core, a ``_ckernel.FastLane`` on the compiled core.
+        self._fast = _FAST_LANE_FACTORY()
         self._sequence = 0
         #: Recycled ``[when, seq, event]`` heap entries.  Popped entries
         #: return here with their event slot cleared, so steady-state
@@ -406,77 +435,129 @@ class Simulator:
           then advanced exactly to it);
         * an :class:`Event` — run until that event has been processed and
           return its value (raising its exception if it failed).
+
+        The loop dispatches the fast lane in batches: after same-time
+        heap entries drain, no new heap entry can appear at the current
+        timestamp (``_enqueue_at`` routes those to the lane), so the
+        whole lane is drained with one heap check and one clock read per
+        batch instead of per event.  Meter counters accumulate in locals
+        and flush on exit (including via exception), so mid-callback
+        reads of ``events_processed`` see the pre-``run()`` value; read
+        it after ``run()`` returns, or use ``step()`` which meters per
+        dispatch.
         """
+        if _C_RUN is not None and type(self._fast) is _C_FAST:
+            # Compiled core: the C loop implements the same batched
+            # dispatch, meter flush, and exception semantics.
+            return _C_RUN(self, until, isinstance(until, Event))
         fast = self._fast
         heap = self._heap
         pool = self._entry_pool
         pop = heapq.heappop
+        fast_pop = fast.popleft
+        plain = Event
         meter = self.meter
+        lane = 0  # every fast-lane dispatch in run() is part of a batch
+        heap_hits = 0
+        started = perf_counter() if meter.enabled else 0.0
 
-        if isinstance(until, Event):
-            sentinel = until
-            while sentinel.callbacks is not None:  # i.e. not yet processed
+        try:
+            if isinstance(until, Event):
+                sentinel = until
+                while sentinel.callbacks is not None:  # not yet processed
+                    if fast:
+                        if heap and heap[0][0] == self._now:
+                            # Same-time heap entries were scheduled before
+                            # the clock arrived here: dispatch before the
+                            # lane, one at a time (they may append more).
+                            entry = pop(heap)
+                            event = entry[2]
+                            entry[2] = None
+                            pool.append(entry)
+                            heap_hits += 1
+                            event._run_callbacks()
+                            continue
+                        # Batch drain: no heap entry can appear at the
+                        # current time while the clock holds still.
+                        while fast:
+                            event = fast_pop()
+                            lane += 1
+                            if type(event) is plain:
+                                callbacks = event.callbacks
+                                event.callbacks = None
+                                for callback in callbacks:
+                                    callback(event)
+                            else:
+                                event._run_callbacks()
+                            if sentinel.callbacks is None:
+                                break
+                    elif heap:
+                        entry = pop(heap)
+                        self._now = entry[0]
+                        event = entry[2]
+                        entry[2] = None
+                        pool.append(entry)
+                        heap_hits += 1
+                        event._run_callbacks()
+                    else:
+                        raise SimulationError(
+                            "simulation ran out of events before the target "
+                            "event triggered (deadlock?)"
+                        )
+                if sentinel._ok:
+                    return sentinel._value
+                raise sentinel._value
+
+            horizon = float("inf") if until is None else float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"cannot run until t={horizon}: clock already at "
+                    f"t={self._now}"
+                )
+            while True:
                 if fast:
+                    # Fast-lane items fire at the current time, which is
+                    # always within the horizon.
                     if heap and heap[0][0] == self._now:
                         entry = pop(heap)
                         event = entry[2]
                         entry[2] = None
                         pool.append(entry)
-                        meter.heap_hits += 1
-                    else:
-                        event = fast.popleft()
-                        meter.fast_lane_hits += 1
+                        heap_hits += 1
+                        event._run_callbacks()
+                        continue
+                    while fast:
+                        event = fast_pop()
+                        lane += 1
+                        if type(event) is plain:
+                            callbacks = event.callbacks
+                            event.callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                        else:
+                            event._run_callbacks()
                 elif heap:
+                    when = heap[0][0]
+                    if when > horizon:
+                        break
                     entry = pop(heap)
-                    self._now = entry[0]
+                    self._now = when
                     event = entry[2]
                     entry[2] = None
                     pool.append(entry)
-                    meter.heap_hits += 1
+                    heap_hits += 1
+                    event._run_callbacks()
                 else:
-                    raise SimulationError(
-                        "simulation ran out of events before the target "
-                        "event triggered (deadlock?)"
-                    )
-                event._run_callbacks()
-            if sentinel._ok:
-                return sentinel._value
-            raise sentinel._value
-
-        horizon = float("inf") if until is None else float(until)
-        if horizon < self._now:
-            raise SimulationError(
-                f"cannot run until t={horizon}: clock already at t={self._now}"
-            )
-        while True:
-            if fast:
-                # Fast-lane items fire at the current time, which is
-                # always within the horizon.
-                if heap and heap[0][0] == self._now:
-                    entry = pop(heap)
-                    event = entry[2]
-                    entry[2] = None
-                    pool.append(entry)
-                    meter.heap_hits += 1
-                else:
-                    event = fast.popleft()
-                    meter.fast_lane_hits += 1
-            elif heap:
-                when = heap[0][0]
-                if when > horizon:
                     break
-                entry = pop(heap)
-                self._now = when
-                event = entry[2]
-                entry[2] = None
-                pool.append(entry)
-                meter.heap_hits += 1
-            else:
-                break
-            event._run_callbacks()
-        if horizon != float("inf"):
-            self._now = horizon
-        return None
+            if horizon != float("inf"):
+                self._now = horizon
+            return None
+        finally:
+            meter.fast_lane_hits += lane
+            meter.batched_events += lane
+            meter.heap_hits += heap_hits
+            if meter.enabled:
+                meter.kernel_flush_wall_s += perf_counter() - started
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         pending = len(self._fast) + len(self._heap)

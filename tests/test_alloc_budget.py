@@ -89,3 +89,53 @@ def test_pure_event_loop_allocations_bounded():
     small, large = run(1_000), run(10_000)
     # 10x the events must not cost anywhere near 10x the peak.
     assert large <= 2 * small + 16_384, (small, large)
+
+
+def test_traced_event_loop_transient_allocations_bounded():
+    """The zero-allocation trace write path: O(1) peak *beyond* the trace.
+
+    With a recording tracer attached, each loop iteration emits an
+    instant.  The records themselves are retained (they are the trace),
+    so what must stay O(1) is the transient overhead above the retained
+    trace: ring-buffered writes materialise in bulk, so ``peak`` must
+    track ``current`` (the final trace) plus a constant, instead of the
+    per-event tuple/dict/span churn the direct path used to pay.
+    """
+    from repro.sim import Simulator
+    from repro.sim.events import Event
+    from repro.telemetry.tracer import Tracer
+
+    def run(n: int) -> int:
+        sim = Simulator()
+        tracer = Tracer(sim)
+        sim.tracer = tracer
+        job = tracer.start_span("job")
+        remaining = [n]
+
+        def relight(_event: Event) -> None:
+            if remaining[0]:
+                remaining[0] -= 1
+                tracer.instant("tick", parent=job)
+                nxt = Event(sim)
+                nxt.callbacks.append(relight)
+                nxt.succeed(None)
+
+        first = Event(sim)
+        first.callbacks.append(relight)
+        first.succeed(None)
+        tracemalloc.start()
+        try:
+            sim.run()
+            tracer.flush()
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        tracer.end_span(job)
+        assert len(job.events) == n
+        return peak - current
+
+    run(100)  # warm-up
+    small, large = run(1_000), run(10_000)
+    # 10x the instants must not cost ~10x the transient overhead.  The
+    # slack covers one list over-allocation copy of the events list.
+    assert large <= 2 * small + 98_304, (small, large)

@@ -1,0 +1,258 @@
+"""The compiled kernel core: C types, selection logic, byte-equality.
+
+Everything here skips cleanly when ``repro.sim._ckernel`` is not built
+(``tools/build_core.py`` builds it); the pure-Python core is the gate.
+The differential dispatch-order fuzzing lives in
+``test_kernel_fastlane.py`` — this file covers the C types' contracts
+and the ``REPRO_SIM_CORE`` selection machinery.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim._core import ACTIVE, COMPILED_AVAILABLE, CKERNEL
+from repro.sim.events import EventAlreadyTriggered
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED_AVAILABLE, reason="compiled core not built"
+)
+
+
+def _run_env(core: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_SIM_CORE"] = core
+    return env
+
+
+@needs_compiled
+class TestFastLane:
+    def test_fifo_order(self):
+        lane = CKERNEL.FastLane()
+        for item in ("a", "b", "c"):
+            lane.append(item)
+        assert [lane.popleft() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_truthiness_and_length(self):
+        lane = CKERNEL.FastLane()
+        assert not lane and len(lane) == 0
+        lane.append(1)
+        assert lane and len(lane) == 1
+
+    def test_pop_from_empty_raises(self):
+        with pytest.raises(IndexError):
+            CKERNEL.FastLane().popleft()
+
+    def test_growth_past_initial_capacity(self):
+        lane = CKERNEL.FastLane()
+        total = 1000  # several doublings past the initial ring
+        for index in range(total):
+            lane.append(index)
+        assert len(lane) == total
+        assert [lane.popleft() for _ in range(total)] == list(range(total))
+
+    def test_interleaved_wraparound(self):
+        lane = CKERNEL.FastLane()
+        out = []
+        for index in range(500):
+            lane.append(index)
+            lane.append(index + 1000)
+            out.append(lane.popleft())
+        while lane:
+            out.append(lane.popleft())
+        reference = []
+        from collections import deque
+
+        ref = deque()
+        for index in range(500):
+            ref.append(index)
+            ref.append(index + 1000)
+            reference.append(ref.popleft())
+        reference.extend(ref)
+        assert out == reference
+
+
+@needs_compiled
+class TestCompiledEvent:
+    def _sim(self):
+        sim = Simulator()
+        sim._fast = CKERNEL.FastLane()
+        return sim
+
+    def test_succeed_then_succeed_raises(self):
+        event = CKERNEL.Event(self._sim())
+        event.succeed("v")
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed("again")
+
+    def test_fail_requires_exception_instance(self):
+        event = CKERNEL.Event(self._sim())
+        with pytest.raises(TypeError, match="exception instance"):
+            event.fail("not an exception")
+
+    def test_value_unavailable_while_pending(self):
+        event = CKERNEL.Event(self._sim())
+        assert not event.triggered
+        with pytest.raises(AttributeError, match="not yet available"):
+            event.value
+
+    def test_lifecycle_flags_match_pure_semantics(self):
+        sim = self._sim()
+        event = CKERNEL.Event(sim)
+        assert (event.triggered, event.processed, event.ok) == (
+            False,
+            False,
+            True,
+        )
+        event.succeed(41)
+        assert event.triggered and not event.processed
+        sim.run()
+        assert event.processed and event.value == 41
+
+    def test_failure_delivers_exception_to_run(self):
+        sim = self._sim()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        handle = sim.spawn(proc(sim))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=handle)
+
+    def test_repr_states(self):
+        sim = self._sim()
+        event = CKERNEL.Event(sim)
+        assert "pending" in repr(event)
+        event.succeed()
+        assert "ok" in repr(event)
+        failed = CKERNEL.Event(sim)
+        failed.fail(ValueError("x"))
+        assert "failed" in repr(failed)
+
+
+@needs_compiled
+class TestCompiledLoop:
+    def _compiled_sim(self):
+        sim = Simulator()
+        sim._fast = CKERNEL.FastLane()
+        return sim
+
+    def test_meter_counters_match_pure_loop(self):
+        def drive(sim):
+            def proc(sim):
+                for _ in range(3):
+                    yield sim.timeout(0.5)
+                    yield sim.timeout(0.0)
+
+            sim.spawn(proc(sim))
+            sim.run()
+            return sim.meter.snapshot()
+
+        assert drive(self._compiled_sim()) == drive(Simulator())
+
+    def test_deadlock_raises_simulation_error(self):
+        from repro.sim import SimulationError
+
+        sim = self._compiled_sim()
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=sim.event())
+
+    def test_backwards_horizon_rejected(self):
+        from repro.sim import SimulationError
+
+        sim = self._compiled_sim()
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError, match="cannot run until"):
+            sim.run(until=0.5)
+
+    def test_horizon_advances_clock_exactly(self):
+        sim = self._compiled_sim()
+        sim.timeout(10.0)
+        assert sim.run(until=2.5) is None
+        assert sim.now == 2.5
+
+
+class TestCoreSelection:
+    def test_active_core_is_consistent(self):
+        assert ACTIVE in ("pure", "compiled")
+        if ACTIVE == "compiled":
+            assert COMPILED_AVAILABLE
+
+    def test_unknown_core_warns_and_falls_back(self):
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::RuntimeWarning",
+                "-c",
+                "import repro.sim._core",
+            ],
+            env=_run_env("turbo"),
+            capture_output=True,
+            text=True,
+        )
+        assert probe.returncode != 0
+        assert "not 'pure' or 'compiled'" in probe.stderr
+
+    @needs_compiled
+    def test_compiled_mode_selects_c_types(self):
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.sim import Simulator\n"
+                "from repro.sim.events import Event\n"
+                "from repro.sim._core import ACTIVE\n"
+                "sim = Simulator()\n"
+                "print(ACTIVE, Event.__module__, type(sim._fast).__name__)\n",
+            ],
+            env=_run_env("compiled"),
+            capture_output=True,
+            text=True,
+        )
+        assert probe.returncode == 0, probe.stderr
+        assert probe.stdout.split() == [
+            "compiled",
+            "repro.sim._ckernel",
+            "FastLane",
+        ]
+
+
+@needs_compiled
+def test_repro_run_documents_byte_identical_across_cores(tmp_path):
+    """The CLI smoke the CI compiled leg mirrors with ``cmp``."""
+    outputs = {}
+    for core in ("pure", "compiled"):
+        out = tmp_path / f"trace-{core}.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "run",
+                "--app",
+                "photo_backup",
+                "--jobs",
+                "2",
+                "--trace",
+                str(out),
+            ],
+            env=_run_env(core),
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs[core] = out.read_bytes()
+    assert outputs["pure"] == outputs["compiled"]
+    json.loads(outputs["pure"])  # stays a valid trace document

@@ -91,6 +91,12 @@ class TestByteIdentity:
             assert result.health["meter"] == reference_meter, (
                 f"shards={n_shards} meter snapshot diverged ({chaos})"
             )
+            # Batched-dispatch accounting is work-determined too: the
+            # same groups batch the same drains under any shard layout.
+            assert (
+                result.health["meter"]["batched_events"]
+                == reference_meter["batched_events"]
+            )
 
     def test_health_byte_identical_across_worker_counts(self):
         spec = small_spec(topology=RING, chaos="uplink-outage")

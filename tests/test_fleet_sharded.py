@@ -82,6 +82,12 @@ class TestDifferential:
             assert result.document["meter"] == reference_meter, (
                 f"shards={n_shards} meter snapshot diverged"
             )
+            # The O3 batch counter is simulated-work-determined like the
+            # lane counters, so it must be shard-layout invariant too.
+            assert (
+                result.document["meter"]["batched_events"]
+                == reference_meter["batched_events"]
+            )
 
     @given(topology=topologies(min_zones=2, couple="pairs"))
     @settings(max_examples=6, deadline=None)

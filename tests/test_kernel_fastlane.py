@@ -19,10 +19,12 @@ reproduces the pre-fast-lane global ordering exactly.
 
 import heapq
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Simulator
+from repro.sim._core import CKERNEL
 from repro.sim.events import Interrupt
 
 
@@ -55,6 +57,28 @@ class ReferenceSimulator(Simulator):
     def __init__(self, start: float = 0.0) -> None:
         super().__init__(start)
         self._fast = _HeapLaneAdapter(self)
+
+
+if CKERNEL is not None:
+
+    class CompiledLoopSimulator(Simulator):
+        """A simulator that dispatches through the compiled batched loop.
+
+        ``run()`` engages the C core whenever the fast lane is a
+        ``_ckernel.FastLane``, so this opts in per-instance without
+        touching ``REPRO_SIM_CORE`` — the differential suite then fuzzes
+        the compiled loop in the same process as the pure reference.
+        """
+
+        def __init__(self, start: float = 0.0) -> None:
+            super().__init__(start)
+            self._fast = CKERNEL.FastLane()
+
+    SIM_CLASSES = [Simulator, CompiledLoopSimulator]
+    SIM_CLASS_IDS = ["pure-loop", "compiled-loop"]
+else:  # pragma: no cover - compiled core not built in this environment
+    SIM_CLASSES = [Simulator]
+    SIM_CLASS_IDS = ["pure-loop"]
 
 
 # Each op is (kind, arg); arg's meaning depends on the kind.
@@ -119,21 +143,23 @@ def _execute(sim_class, program):
     return log
 
 
+@pytest.mark.parametrize("sim_class", SIM_CLASSES, ids=SIM_CLASS_IDS)
 @given(program=PROGRAMS)
 @settings(max_examples=120, deadline=None)
-def test_fast_lane_matches_reference_kernel(program):
-    assert _execute(Simulator, program) == _execute(
+def test_fast_lane_matches_reference_kernel(sim_class, program):
+    assert _execute(sim_class, program) == _execute(
         ReferenceSimulator, program
     )
 
 
+@pytest.mark.parametrize("checked_class", SIM_CLASSES, ids=SIM_CLASS_IDS)
 @given(
     delays=st.lists(
         st.sampled_from([0.0, 0.0, 0.5, 1.0, 1.5]), min_size=1, max_size=30
     )
 )
 @settings(max_examples=80, deadline=None)
-def test_same_time_insertion_order_matches_reference(delays):
+def test_same_time_insertion_order_matches_reference(checked_class, delays):
     """Dense same-timestamp traffic: the contract's hardest case."""
 
     def run(sim_class):
@@ -151,7 +177,66 @@ def test_same_time_insertion_order_matches_reference(delays):
         sim.run()
         return order, sim.now, sim.events_processed
 
-    assert run(Simulator) == run(ReferenceSimulator)
+    assert run(checked_class) == run(ReferenceSimulator)
+
+
+@pytest.mark.parametrize("checked_class", SIM_CLASSES, ids=SIM_CLASS_IDS)
+@given(
+    spawns=st.integers(min_value=2, max_value=10),
+    kinds=st.lists(
+        st.sampled_from(["t0", "t0", "interrupt", "succeed"]),
+        min_size=1,
+        max_size=3,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_same_time_homogeneous_bursts_match_reference(checked_class, spawns, kinds):
+    """Same-time homogeneous bursts: the batching boundary's hardest case.
+
+    ``spawns`` children all land at one timestamp and execute the same
+    op mix — zero-delay timeouts, immediate succeeds, and interrupts
+    aimed at the next sibling — so whole bursts flow through ``run()``'s
+    batch drain, interleaved with mid-batch lane growth and mid-batch
+    process death.  The heap-only reference must see the identical
+    dispatch order.
+    """
+
+    def run(sim_class):
+        sim = sim_class()
+        log = []
+        children = []
+
+        def child(tag):
+            try:
+                for index, kind in enumerate(kinds):
+                    log.append(("c", tag, index, kind, sim.now))
+                    if kind == "t0":
+                        yield sim.timeout(0.0)
+                    elif kind == "interrupt":
+                        victim = children[(tag + 1) % len(children)]
+                        victim.interrupt(cause=tag)
+                        yield sim.timeout(0.0)
+                    else:
+                        event = sim.event()
+                        event.succeed(tag)
+                        got = yield event
+                        log.append(("v", tag, got, sim.now))
+            except Interrupt as interrupt:
+                log.append(("intr", tag, interrupt.cause, sim.now))
+
+        def root():
+            yield sim.timeout(1.0)
+            # One spawn burst at t=1.0: every bootstrap occupies the
+            # same-time lane before any child body runs.
+            for tag in range(spawns):
+                children.append(sim.spawn(child(tag)))
+
+        sim.spawn(root())
+        sim.run()
+        log.append(("end", sim.now, sim.events_processed))
+        return log
+
+    assert run(checked_class) == run(ReferenceSimulator)
 
 
 def test_reference_kernel_never_uses_fast_lane():

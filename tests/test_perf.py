@@ -69,8 +69,36 @@ class TestRuntimeMeter:
         timings = meter.timings()
         assert timings["plan_wall_s"] == 0.123457
         assert set(timings) == {
-            "plan_wall_s", "sweep_wall_s", "shard_wall_s", "merge_wall_s"
+            "plan_wall_s",
+            "sweep_wall_s",
+            "shard_wall_s",
+            "merge_wall_s",
+            "kernel_flush_wall_s",
         }
+
+    def test_run_books_batched_events_and_flush_wall(self):
+        # run() dispatches the fast lane in batches: every lane dispatch
+        # counts in both fast_lane_hits and batched_events, and the drain
+        # wall-clock lands in the kernel_flush timing slot.
+        sim = Simulator()
+        done = []
+        for index in range(4):
+            event = sim.event()
+            event.callbacks.append(lambda e, i=index: done.append(i))
+            event.succeed(None)
+        sim.run()
+        assert done == [0, 1, 2, 3]
+        assert sim.meter.batched_events == 4
+        assert sim.meter.fast_lane_hits == 4
+        assert sim.meter.snapshot()["batched_events"] == 4
+        assert sim.meter.timings()["kernel_flush_wall_s"] >= 0.0
+
+    def test_step_dispatches_are_not_batched(self):
+        sim = Simulator()
+        sim.event().succeed(None)
+        sim.step()
+        assert sim.meter.fast_lane_hits == 1
+        assert sim.meter.batched_events == 0
 
     def test_absorb_folds_counters_and_timings(self):
         a, b = RuntimeMeter(), RuntimeMeter()
@@ -292,6 +320,24 @@ class TestEvaluateMetric:
         assert evaluate_metric("B", spec, few_cores).status == "skip"
         short = {"speedup": 0.1, "cores": 8, "mode": "short"}
         assert evaluate_metric("B", spec, short).status == "skip"
+
+    def test_payload_equality_gate(self):
+        """Any non-reserved gate key arms only on payload equality —
+        the O3 rule: the compiled floor skips on pure-only hosts."""
+        spec = MetricSpec(
+            "events_per_s_compiled", kind="min", threshold=5e6,
+            gate={"compiled": True},
+        )
+        armed = {"events_per_s_compiled": 1e6, "compiled": True}
+        assert evaluate_metric("B", spec, armed).failed
+        passing = {"events_per_s_compiled": 9e6, "compiled": True}
+        assert evaluate_metric("B", spec, passing).status == "ok"
+        pure_host = {"events_per_s_compiled": 0.0, "compiled": False}
+        outcome = evaluate_metric("B", spec, pure_host)
+        assert outcome.status == "skip"
+        assert "compiled" in outcome.detail
+        missing = {"events_per_s_compiled": 0.0}
+        assert evaluate_metric("B", spec, missing).status == "skip"
 
     def test_max_ceiling(self):
         spec = MetricSpec("overhead", kind="max", threshold=2.0)

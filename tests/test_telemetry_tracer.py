@@ -85,6 +85,9 @@ class TestSpanRecording:
         tracer = Tracer(clock)
         parent = tracer.start_span("job")
         tracer.instant("attempt_failed", parent=parent, cause="Boom")
+        # Listener-free instants buffer in the write ring; any flush
+        # point (here an explicit flush) materialises them.
+        tracer.flush()
         assert parent.events == [(3.0, "attempt_failed", {"cause": "Boom"})]
 
     def test_parentless_instant_gets_synthetic_span(self):
@@ -93,6 +96,60 @@ class TestSpanRecording:
         (span,) = tracer.spans
         assert span.start == span.end == 4.0
         assert span.events == [(4.0, "orphan", {"note": "x"})]
+
+    def test_ring_preserves_span_id_order_across_flush_points(self):
+        # A buffered parentless instant must claim its synthetic span id
+        # *before* any span started later — even though the Span object
+        # is only built at the flush point start_span() triggers.
+        clock = FakeClock(1.0)
+        tracer = Tracer(clock)
+        tracer.instant("first")
+        clock.now = 2.0
+        later = tracer.start_span("job")
+        spans = tracer.spans
+        assert [s.name for s in spans] == ["first", "job"]
+        assert spans[0].span_id < later.span_id
+        assert spans[0].start == spans[0].end == 1.0
+
+    def test_ring_captures_clock_at_write_time(self):
+        clock = FakeClock(1.0)
+        tracer = Tracer(clock)
+        parent = tracer.start_span("job")
+        tracer.instant("tick", parent=parent)
+        clock.now = 9.0  # advances before the flush
+        tracer.flush()
+        assert parent.events == [(1.0, "tick", {})]
+
+    def test_ring_wraps_past_capacity(self):
+        from repro.telemetry.tracer import _RING_CAPACITY
+
+        tracer = Tracer(FakeClock(0.0))
+        parent = tracer.start_span("job")
+        total = _RING_CAPACITY * 2 + 7
+        for index in range(total):
+            tracer.instant("tick", parent=parent, i=index)
+        tracer.flush()
+        assert len(parent.events) == total
+        assert [attrs["i"] for _, _, attrs in parent.events] == list(range(total))
+
+    def test_subscribe_flushes_buffered_instants(self):
+        tracer = Tracer(FakeClock(0.0))
+        tracer.instant("before")
+        seen = []
+
+        class Listener:
+            def on_span_end(self, span):
+                seen.append(("end", span.name))
+
+            def on_instant(self, at, name, attributes, parent):
+                seen.append(("instant", name))
+
+        tracer.subscribe(Listener())
+        tracer.instant("after")
+        # The pre-subscribe instant was materialised (not replayed to the
+        # listener); the post-subscribe one took the direct path.
+        assert seen == [("instant", "after")]
+        assert [s.name for s in tracer.spans] == ["before", "after"]
 
     def test_end_subtree_closes_open_descendants_only(self):
         clock = FakeClock()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Build the optional compiled kernel core (repro.sim._ckernel).
+
+Compiles ``src/repro/sim/_ckernel.c`` into an extension module next to
+its source using the active interpreter's sysconfig paths and a plain C
+compiler — no pip, wheel, or build isolation required.  The pure-Python
+kernel remains fully functional without it; ``REPRO_SIM_CORE=compiled``
+activates the result (see ``repro/sim/_core.py``).
+
+Usage::
+
+    python tools/build_core.py           # build (no-op if up to date)
+    python tools/build_core.py --force   # rebuild unconditionally
+    python tools/build_core.py --check   # exit 0 iff the built core imports
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE = REPO / "src" / "repro" / "sim" / "_ckernel.c"
+
+
+def output_path() -> Path:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return SOURCE.parent / f"_ckernel{suffix}"
+
+
+def build(force: bool = False) -> int:
+    target = output_path()
+    if (
+        not force
+        and target.exists()
+        and target.stat().st_mtime >= SOURCE.stat().st_mtime
+    ):
+        print(f"up to date: {target}")
+        return 0
+    compiler = sysconfig.get_config_var("CC") or "cc"
+    include = sysconfig.get_path("include")
+    command = [
+        *compiler.split(),
+        "-shared",
+        "-fPIC",
+        "-O2",
+        "-fno-strict-aliasing",
+        f"-I{include}",
+        str(SOURCE),
+        "-o",
+        str(target),
+    ]
+    print(" ".join(command))
+    result = subprocess.run(command)
+    if result.returncode != 0:
+        return result.returncode
+    return check()
+
+
+def check() -> int:
+    probe = subprocess.run(
+        [sys.executable, "-c", "from repro.sim import _ckernel; "
+         "print('compiled core ok:', _ckernel.__file__)"],
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    return probe.returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even if the output is newer")
+    parser.add_argument("--check", action="store_true",
+                        help="only verify the built core imports")
+    args = parser.parse_args()
+    if args.check:
+        return check()
+    return build(force=args.force)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

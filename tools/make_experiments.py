@@ -96,6 +96,7 @@ def build_sections():
     from bench_r1_chaos import run_r1
     from bench_o1_overhead import run_o1
     from bench_o2_kernel import run_o2
+    from bench_o3_dispatch import run_o3
 
     def single(fn):
         return lambda: print(fn())
@@ -477,6 +478,33 @@ def build_sections():
             "`benchmarks/BENCH_O2.json` via `tools/check_bench_o2.py`.  "
             "Wall-clock columns are non-deterministic; the speedup "
             "column is meaningful on comparable hardware only.",
+        ),
+        (
+            "O3", "Optimisation: batched dispatch and the compiled core",
+            "Once same-time heap entries drain, nothing can re-enter the "
+            "heap at the current timestamp, so `run()` can drain the "
+            "whole fast lane as one batch — one heap-front comparison "
+            "and one clock read per batch instead of per event — and the "
+            "same loop compiles to a C core (`tools/build_core.py`, "
+            "`REPRO_SIM_CORE=compiled`), all byte-identical to the "
+            "per-event pure loop.",
+            single(run_o3),
+            "**Verdict ✅** — on a lane drain with a pending heap entry "
+            "(the steady state of real workloads), the batched pure loop "
+            "clears ~6.5M events/s vs ~4.7–5.1M for a verbatim "
+            "reconstruction of the per-event loop — a 1.25–1.4x batching "
+            "win (gated ≥1.2x), with the relight chain at ~2M events/s.  "
+            "The compiled core drains the same burst at ~25M events/s "
+            "(gated ≥5M) and runs the chain ~1.4x faster than pure.  "
+            "Equivalence is enforced the same three ways as O2 plus a "
+            "compiled leg: golden traces and `repro run` documents are "
+            "byte-identical under `REPRO_SIM_CORE=pure|compiled`, the "
+            "Hypothesis differential suite fuzzes the compiled loop "
+            "in-process (`tests/test_kernel_fastlane.py`), and the "
+            "traced event loop's transient allocation peak is pinned "
+            "O(1) by the trace ring (`tests/test_alloc_budget.py`).  "
+            "CI gates against the committed `benchmarks/BENCH_O3.json` "
+            "via `tools/check_bench.py`.",
         ),
     ]
 
